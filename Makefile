@@ -1,0 +1,37 @@
+# Convenience targets for the meshsort reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-race bench experiments experiments-quick lemmas fmt vet cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/engine/ ./internal/experiments/ ./internal/procmesh/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+lemmas:
+	$(GO) run ./cmd/lemmas -side 8 -trials 500
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+cover:
+	$(GO) test -cover ./...

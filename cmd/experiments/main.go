@@ -1,0 +1,102 @@
+// Command experiments runs the paper-reproduction experiment suite
+// (E01–E15) and prints the paper-vs-measured tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments                    # run everything, full size
+//	experiments -run E08,E09       # selected experiments
+//	experiments -quick             # reduced sizes/trials (seconds)
+//	experiments -format markdown   # markdown tables for EXPERIMENTS.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		format  = flag.String("format", "table", "output format: table, markdown, csv")
+		workers = flag.Int("workers", 0, "parallel workers per run (0 = sequential)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%s  %s\n     %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	if *runIDs == "all" {
+		todo = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	failed := 0
+	for _, e := range todo {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("claim: %s\n\n", e.Claim)
+		out, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		for _, t := range out.Tables {
+			switch *format {
+			case "markdown":
+				if t.Title != "" {
+					fmt.Printf("**%s**\n\n", t.Title)
+				}
+				if err := t.Markdown(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			case "csv":
+				if err := t.CSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			default:
+				if err := t.Render(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+			}
+			fmt.Println()
+		}
+		for _, n := range out.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		if out.OK {
+			fmt.Printf("result: OK — the paper's claim held\n\n")
+		} else {
+			fmt.Printf("result: FAILED\n\n")
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

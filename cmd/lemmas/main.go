@@ -1,0 +1,179 @@
+// Command lemmas verifies the paper's structural lemmas on many random 0-1
+// meshes and exits non-zero on any violation. It is a fast standalone
+// falsification harness for Lemmas 1–3 (weight travel of the row-major
+// algorithms), Lemmas 5–8 (Z monotonicity of snake-a), Lemma 10 (Y
+// monotonicity of snake-b), and the Theorem 4 block mapping.
+//
+// Usage:
+//
+//	lemmas -side 8 -trials 500 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+	"repro/internal/zeroone"
+)
+
+func main() {
+	var (
+		side   = flag.Int("side", 8, "mesh side length (even)")
+		trials = flag.Int("trials", 500, "random meshes per family")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		cycles = flag.Int("cycles", 8, "algorithm cycles to track per mesh")
+	)
+	flag.Parse()
+	if *side%2 != 0 || *side < 4 {
+		fmt.Fprintln(os.Stderr, "lemmas: -side must be even and >= 4")
+		os.Exit(2)
+	}
+
+	violations := 0
+	report := func(family string, checks int, errs []error) {
+		status := "ok"
+		if len(errs) > 0 {
+			status = fmt.Sprintf("%d VIOLATIONS (first: %v)", len(errs), errs[0])
+			violations += len(errs)
+		}
+		fmt.Printf("%-38s %7d checks  %s\n", family, checks, status)
+	}
+
+	src := rng.New(*seed)
+
+	// Lemmas 1–3 on rm-rf transitions.
+	{
+		s := sched.NewRowMajorRowFirst(*side, *side)
+		var errs []error
+		checks := 0
+		for i := 0; i < *trials; i++ {
+			alpha := rng.Intn(src, *side**side+1)
+			g := workload.RandomZeroOne(src, *side, *side, alpha)
+			for t := 1; t <= *cycles*4; t++ {
+				before := g.Clone()
+				engine.ApplyStep(g, s.Step(t))
+				var err error
+				switch t % 4 {
+				case 1:
+					err = zeroone.CheckLemma2(before, g)
+				case 2, 0:
+					err = zeroone.CheckLemma1(before, g)
+				case 3:
+					err = zeroone.CheckLemma3(before, g)
+				}
+				if err != nil {
+					errs = append(errs, err)
+				}
+				checks++
+			}
+		}
+		report("Lemmas 1-3 (rm-rf weight travel)", checks, errs)
+	}
+
+	// Lemmas 5–8 on snake-a.
+	{
+		s := sched.NewSnakeA(*side, *side)
+		var errs []error
+		checks := 0
+		for i := 0; i < *trials; i++ {
+			alpha := rng.Intn(src, *side**side+1)
+			g := workload.RandomZeroOne(src, *side, *side, alpha)
+			var z1, z2, z3, z4, prevZ4 int
+			havePrev := false
+			for t := 1; t <= *cycles*4; t++ {
+				engine.ApplyStep(g, s.Step(t))
+				switch t % 4 {
+				case 1:
+					z1 = zeroone.SnakeZ1(g)
+					if havePrev && z1 < prevZ4 {
+						errs = append(errs, fmt.Errorf("lemma 8: Z1=%d < Z4=%d at step %d", z1, prevZ4, t))
+					}
+				case 2:
+					z2 = zeroone.SnakeZ2(g)
+					if z2 < z1 {
+						errs = append(errs, fmt.Errorf("lemma 5: Z2=%d < Z1=%d at step %d", z2, z1, t))
+					}
+				case 3:
+					z3 = zeroone.SnakeZ3(g)
+					if z3 < z2 {
+						errs = append(errs, fmt.Errorf("lemma 6: Z3=%d < Z2=%d at step %d", z3, z2, t))
+					}
+				case 0:
+					z4 = zeroone.SnakeZ4(g)
+					if z4 < z3-1 {
+						errs = append(errs, fmt.Errorf("lemma 7: Z4=%d < Z3-1=%d at step %d", z4, z3-1, t))
+					}
+					prevZ4, havePrev = z4, true
+				}
+				checks++
+			}
+		}
+		report("Lemmas 5-8 (snake-a Z monotonicity)", checks, errs)
+	}
+
+	// Lemma 10 on snake-b.
+	{
+		s := sched.NewSnakeB(*side, *side)
+		var errs []error
+		checks := 0
+		for i := 0; i < *trials; i++ {
+			alpha := rng.Intn(src, *side**side+1)
+			g := workload.RandomZeroOne(src, *side, *side, alpha)
+			var y1, y2, y3, prevY3 int
+			havePrev := false
+			for t := 1; t <= *cycles*4; t++ {
+				engine.ApplyStep(g, s.Step(t))
+				switch t % 4 {
+				case 1:
+					y1 = zeroone.SnakeY1(g)
+					if havePrev && y1 < prevY3 {
+						errs = append(errs, fmt.Errorf("lemma 10c: Y1=%d < Y3=%d at step %d", y1, prevY3, t))
+					}
+				case 3:
+					y2 = zeroone.SnakeY2(g)
+					if y2 < y1 {
+						errs = append(errs, fmt.Errorf("lemma 10a: Y2=%d < Y1=%d at step %d", y2, y1, t))
+					}
+				case 0:
+					y3 = zeroone.SnakeY3(g)
+					if y3 < y2-1 {
+						errs = append(errs, fmt.Errorf("lemma 10b: Y3=%d < Y2-1=%d at step %d", y3, y2-1, t))
+					}
+					prevY3, havePrev = y3, true
+				}
+				checks++
+			}
+		}
+		report("Lemma 10 (snake-b Y monotonicity)", checks, errs)
+	}
+
+	// Theorem 4 block mapping on rm-cf.
+	{
+		s := sched.NewRowMajorColFirst(*side, *side)
+		var errs []error
+		checks := 0
+		for i := 0; i < *trials; i++ {
+			alpha := rng.Intn(src, *side**side+1)
+			g := workload.RandomZeroOne(src, *side, *side, alpha)
+			initial := g.Clone()
+			engine.ApplyStep(g, s.Step(1))
+			engine.ApplyStep(g, s.Step(2))
+			if err := zeroone.CheckBlockMapping(initial, g); err != nil {
+				errs = append(errs, err)
+			}
+			checks++
+		}
+		report("Theorem 4 block mapping (rm-cf)", checks, errs)
+	}
+
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "lemmas: %d violations found\n", violations)
+		os.Exit(1)
+	}
+	fmt.Println("all lemmas held")
+}

@@ -1,0 +1,51 @@
+package meshsort_test
+
+import (
+	"fmt"
+
+	meshsort "repro"
+)
+
+// Sorting a deterministic mesh into snakelike order with the first
+// snakelike algorithm.
+func ExampleSort() {
+	g := meshsort.FromValues(2, 2, []int{4, 2, 1, 3})
+	res, err := meshsort.Sort(g, meshsort.SnakeA, meshsort.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sorted:", res.Sorted)
+	fmt.Print(g)
+	// Output:
+	// sorted: true
+	// 1 2
+	// 4 3
+}
+
+// Row-major order requires the wrap-around algorithms.
+func ExampleSort_rowMajor() {
+	g := meshsort.FromValues(2, 2, []int{4, 2, 1, 3})
+	if _, err := meshsort.Sort(g, meshsort.RowMajorRowFirst, meshsort.Options{}); err != nil {
+		panic(err)
+	}
+	fmt.Print(g)
+	// Output:
+	// 1 2
+	// 3 4
+}
+
+func ExampleAlgorithmByName() {
+	alg, _ := meshsort.AlgorithmByName("snake-c")
+	fmt.Println(alg, "->", alg.Order())
+	// Output:
+	// snakelike C -> snakelike
+}
+
+// StepsToSort leaves its input untouched and reports only the step count.
+func ExampleStepsToSort() {
+	g := meshsort.WorstCaseMesh(8) // Corollary 1 adversarial input, N = 64
+	steps, _ := meshsort.StepsToSort(g, meshsort.RowMajorRowFirst)
+	fmt.Println(steps >= 2*64-4*8) // at least 2N − 4√N
+	// Output:
+	// true
+}

@@ -1,0 +1,128 @@
+// Distribution plots the empirical distribution of sorting-step counts for
+// each algorithm on random permutations — the concentration the paper's
+// Theorems 3, 5, 8, 11 and 12 describe is directly visible: the mass sits
+// in a narrow band at Θ(N), far above the Ω(√N) diameter bound, with
+// essentially no left tail.
+//
+//	go run ./examples/distribution
+package main
+
+import (
+	"fmt"
+	"log"
+
+	meshsort "repro"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	const side = 16
+	const trials = 400
+	n := side * side
+
+	fmt.Printf("distribution of steps to sort a random permutation (%d trials, %d×%d mesh, N=%d)\n\n",
+		trials, side, side, n)
+
+	growthX := []float64{}
+	growth := map[byte][]float64{}
+	marks := map[core.Algorithm]byte{
+		core.RowMajorRowFirst: 'r',
+		core.SnakeA:           'a',
+		core.SnakeC:           'c',
+		core.Shearsort:        's',
+	}
+
+	for _, alg := range meshsort.Algorithms() {
+		src := rng.NewStream(4, uint64(alg))
+		samples := make([]float64, trials)
+		h := stats.NewHistogram(0, 2.2*float64(n), 22)
+		for i := range samples {
+			g := workload.RandomPermutation(src, side, side)
+			res, err := core.Sort(g, alg, core.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			samples[i] = float64(res.Steps)
+			h.Add(samples[i])
+		}
+		s := stats.Summarize(samples)
+		fmt.Printf("%s: %s\n", alg, s)
+		for b, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			lo, hi := h.Bin(b)
+			bar := ""
+			for i := 0; i < c*60/trials; i++ {
+				bar += "#"
+			}
+			fmt.Printf("  [%5.0f,%5.0f) %4d %s\n", lo, hi, c, bar)
+		}
+		fmt.Println()
+	}
+
+	// Growth curves across sizes for a few representatives.
+	for _, side := range []int{8, 12, 16, 24, 32} {
+		growthX = append(growthX, float64(side*side))
+		for alg, mark := range marks {
+			src := rng.NewStream(9, uint64(side)<<8|uint64(alg))
+			sum := 0
+			const t2 = 40
+			for i := 0; i < t2; i++ {
+				g := workload.RandomPermutation(src, side, side)
+				res, err := core.Sort(g, alg, core.Options{})
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += res.Steps
+			}
+			growth[mark] = append(growth[mark], float64(sum)/t2)
+		}
+	}
+	fmt.Println(report.ASCIIPlot(
+		"mean steps vs N   (r = rm-rf, a = snake-a, c = snake-c, s = shearsort)",
+		growthX, growth, 64, 16))
+	fmt.Println("the bubble algorithms climb linearly in N; shearsort flattens — the paper's headline picture.")
+
+	// Progress curves: misplaced cells over time on ONE shared input. The
+	// bubble algorithms drain misplacement along a long ramp (the
+	// travelling zero-sets cap per-step progress); shearsort collapses.
+	fmt.Println()
+	input := workload.RandomPermutation(rng.New(77), side, side)
+	progress := map[byte][]float64{}
+	maxLen := 0
+	for alg, mark := range map[core.Algorithm]byte{core.SnakeA: 'a', core.Shearsort: 's'} {
+		g := input.Clone()
+		tr := trace.NewProgressTracer(g, alg.Order())
+		if _, err := core.Sort(g, alg, core.Options{Observer: tr.Observe}); err != nil {
+			log.Fatal(err)
+		}
+		series := tr.Series()
+		curve := make([]float64, len(series))
+		for i, v := range series {
+			curve[i] = float64(v)
+		}
+		progress[mark] = curve
+		if len(curve) > maxLen {
+			maxLen = len(curve)
+		}
+	}
+	xs := make([]float64, maxLen)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	for mark, curve := range progress { // pad finished runs at zero
+		for len(curve) < maxLen {
+			curve = append(curve, 0)
+		}
+		progress[mark] = curve
+	}
+	fmt.Println(report.ASCIIPlot(
+		"misplaced cells vs step   (a = snake-a, s = shearsort)",
+		xs, progress, 64, 14))
+}

@@ -1,0 +1,41 @@
+// Quickstart: sort a random permutation on a mesh with each of the paper's
+// five algorithms and print the step counts against the mesh diameter.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	meshsort "repro"
+)
+
+func main() {
+	const side = 16 // √N; the mesh holds N = 256 values
+	fmt.Printf("sorting a random permutation of %d values on a %d×%d mesh\n\n", side*side, side, side)
+	fmt.Printf("mesh diameter: %d steps (the naive lower bound)\n", 2*side-2)
+	fmt.Printf("paper's result: every bubble generalization needs Θ(N) steps on average\n\n")
+
+	for _, alg := range meshsort.Algorithms() {
+		g := meshsort.RandomMesh(42, side)
+		res, err := meshsort.Sort(g, alg, meshsort.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !g.IsSorted(alg.Order()) {
+			log.Fatalf("%v failed to sort", alg)
+		}
+		fmt.Printf("%-28s %4d steps  (%.2f·N)  %d swaps\n",
+			alg, res.Steps, float64(res.Steps)/float64(side*side), res.Swaps)
+	}
+
+	// The baseline shows what a good mesh sort achieves on the same input.
+	g := meshsort.RandomMesh(42, side)
+	res, err := meshsort.Sort(g, meshsort.Shearsort, meshsort.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-28s %4d steps  (%.2f·N)  — Θ(√N·log N) baseline\n",
+		"shearsort", res.Steps, float64(res.Steps)/float64(side*side))
+}

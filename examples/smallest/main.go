@@ -1,0 +1,75 @@
+// Smallest visualizes the mechanism behind Theorem 12: in the third
+// snakelike algorithm the smallest element walks backwards along the final
+// snake order, its rank decreasing by exactly one per even walk step
+// (Lemmas 12–13), so an element starting at final rank m needs at least
+// 2m−3 steps — and with probability ≈ δ the rank is below δN, giving the
+// Θ(N) with-high-probability bound.
+//
+//	go run ./examples/smallest
+package main
+
+import (
+	"fmt"
+	"log"
+
+	meshsort "repro"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	const side = 8
+	g := meshsort.RandomMesh(12345, side)
+	r0, c0, _ := g.FindValue(1)
+	m := g.CellRank(grid.Snake, r0, c0) + 1
+
+	fmt.Printf("8×8 mesh, snakelike algorithm C\n")
+	fmt.Printf("value 1 starts at (%d,%d) — final-order rank of that cell: m = %d\n", r0, c0, m)
+	fmt.Printf("Lemmas 12-13 ⇒ at least 2m−3 = %d steps are needed\n\n", 2*m-3)
+
+	tracer := trace.NewPositionTracer(g, 1)
+	res, err := core.Sort(g, core.SnakeC, core.Options{Observer: tracer.Observe})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pos := tracer.Positions()
+	fmt.Println("the walk, sampled every two algorithm steps (Definition 11):")
+	fmt.Println("walk i  after step  cell      snake rank of cell")
+	for i := 0; 2*i < len(pos); i++ {
+		p := pos[2*i]
+		rank := g.CellRank(grid.Snake, p.Row, p.Col) + 1
+		fmt.Printf("%6d  %10d  (%d,%d)  %4d\n", i, 2*i, p.Row, p.Col, rank)
+		if rank == 1 {
+			break
+		}
+	}
+	fmt.Printf("\ntotal steps to sort: %d (≥ 2m−3 = %d ✓)\n", res.Steps, 2*m-3)
+
+	// Empirical tail vs Theorem 12's bound over many random inputs.
+	const trials = 400
+	src := rng.New(99)
+	n := side * side
+	counts := map[float64]int{0.25: 0, 0.5: 0, 0.75: 0}
+	for i := 0; i < trials; i++ {
+		gg := workload.RandomPermutation(src, side, side)
+		rr, err := core.Sort(gg, core.SnakeC, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for delta := range counts {
+			if float64(rr.Steps) < delta*float64(n) {
+				counts[delta]++
+			}
+		}
+	}
+	fmt.Printf("\nTheorem 12 tail over %d random inputs (N = %d):\n", trials, n)
+	for _, delta := range []float64{0.25, 0.5, 0.75} {
+		emp := float64(counts[delta]) / trials
+		bound := delta/2 + delta/(2*float64(n))
+		fmt.Printf("  P[steps < %.2f·N] = %.3f   (bound %.3f)\n", delta, emp, bound)
+	}
+}

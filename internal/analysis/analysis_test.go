@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func ratEq(a, b *big.Rat) bool { return a.Cmp(b) == 0 }
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {4, 7, 0}, {4, -1, 0},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Cmp(big.NewInt(int64(c.want))) != 0 {
+			t.Fatalf("C(%d,%d) = %v, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPatternProbMatchesBinomialRatio(t *testing.T) {
+	// P[k0 specific cells zero, k1 specific cells one]
+	// = C(total−k0−k1, zeros−k0) / C(total, zeros).
+	for _, c := range []struct{ total, zeros, k0, k1 int }{
+		{16, 8, 0, 2}, {16, 8, 2, 0}, {16, 8, 1, 2}, {36, 18, 0, 4}, {36, 19, 3, 2},
+	} {
+		got := PatternProb(c.total, c.zeros, c.k0, c.k1)
+		want := new(big.Rat).SetFrac(
+			Binomial(c.total-c.k0-c.k1, c.zeros-c.k0),
+			Binomial(c.total, c.zeros))
+		if !ratEq(got, want) {
+			t.Fatalf("PatternProb%v = %v, want %v", c, got, want)
+		}
+	}
+}
+
+func TestPatternProbSumsToOne(t *testing.T) {
+	// Over all 2^4 patterns of 4 specific cells the probabilities sum to 1.
+	total, zeros := 36, 18
+	sum := new(big.Rat)
+	for mask := 0; mask < 16; mask++ {
+		k0 := 0
+		for b := 0; b < 4; b++ {
+			if mask>>b&1 == 0 {
+				k0++
+			}
+		}
+		sum.Add(sum, PatternProb(total, zeros, k0, 4-k0))
+	}
+	if sum.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Fatalf("pattern probabilities sum to %v", sum)
+	}
+}
+
+func TestCeilRat(t *testing.T) {
+	cases := []struct {
+		r    *big.Rat
+		want int
+	}{
+		{big.NewRat(7, 2), 4}, {big.NewRat(8, 2), 4}, {big.NewRat(-7, 2), -3},
+		{big.NewRat(0, 1), 0}, {big.NewRat(1, 3), 1},
+	}
+	for _, c := range cases {
+		if got := CeilRat(c.r); got != c.want {
+			t.Fatalf("CeilRat(%v) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+// --- Row-first algorithm: exact vs paper closed forms ---
+
+func TestEz1RowFirstMatchesPaper(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		if !ratEq(Ez1RowFirstExact(n), PaperEz1RowFirst(n)) {
+			t.Fatalf("n=%d: exact %v != paper %v", n, Ez1RowFirstExact(n), PaperEz1RowFirst(n))
+		}
+	}
+}
+
+func TestEZ1RowFirstMatchesPaper(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		if !ratEq(EZ1RowFirstExact(n), PaperEZ1RowFirst(n)) {
+			t.Fatalf("n=%d: exact %v != paper %v", n, EZ1RowFirstExact(n), PaperEZ1RowFirst(n))
+		}
+	}
+}
+
+func TestEz1z2RowFirstMatchesPaper(t *testing.T) {
+	for n := 1; n <= 30; n++ {
+		if !ratEq(Ez1z2RowFirstExact(n), PaperEz1z2RowFirst(n)) {
+			t.Fatalf("n=%d: exact %v != paper %v", n, Ez1z2RowFirstExact(n), PaperEz1z2RowFirst(n))
+		}
+	}
+}
+
+func TestVarZ1RowFirstNearPaperPolynomial(t *testing.T) {
+	// The printed polynomial has a documented lower-order typo (exhaustive
+	// enumeration at n=2 gives 1532/2925, the print evaluates to
+	// 1513/2925). Exact and printed must agree to O(1) absolute error and
+	// share the 3n/8 leading behaviour.
+	for n := 2; n <= 20; n++ {
+		exact := Float(VarZ1RowFirstExact(n))
+		paper := Float(PaperVarZ1RowFirst(n))
+		if math.Abs(exact-paper) > 0.05 {
+			t.Fatalf("n=%d: exact %.6f vs paper %.6f differ too much", n, exact, paper)
+		}
+	}
+}
+
+func TestVarZ1RowFirstExactAtN2(t *testing.T) {
+	// Ground truth from exhaustive enumeration of all C(16,8) = 12870
+	// matrices: mean 46/15, variance 1532/2925.
+	if !ratEq(VarZ1RowFirstExact(2), big.NewRat(1532, 2925)) {
+		t.Fatalf("Var(Z1) at n=2 = %v, want 1532/2925", VarZ1RowFirstExact(2))
+	}
+	if !ratEq(EZ1RowFirstExact(2), big.NewRat(46, 15)) {
+		t.Fatalf("E[Z1] at n=2 = %v, want 46/15", EZ1RowFirstExact(2))
+	}
+}
+
+func TestVarZ1RowFirstAsymptote(t *testing.T) {
+	// Var(Z₁) = n(3/8 − o(1)).
+	v := Float(VarZ1RowFirstExact(200)) / 200
+	if math.Abs(v-3.0/8) > 0.01 {
+		t.Fatalf("Var(Z1)/n = %v, want ≈ 3/8", v)
+	}
+}
+
+func TestTheorem2Bound(t *testing.T) {
+	// 4n·E[M] ≈ N/2 − 2√N.
+	for _, n := range []int{4, 8, 16, 32} {
+		side := 2 * n
+		cells := side * side
+		exact := Float(Theorem2BoundExact(n))
+		head := Theorem2BoundHeadline(cells, side)
+		if math.Abs(exact-head) > 3 {
+			t.Fatalf("n=%d: exact bound %v vs headline %v", n, exact, head)
+		}
+	}
+}
+
+// --- Column-first algorithm ---
+
+func TestProbZColFirstSumsToOne(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		sum := new(big.Rat)
+		for v := 0; v <= 2; v++ {
+			sum.Add(sum, ProbZColFirstExact(n, v))
+		}
+		if sum.Cmp(big.NewRat(1, 1)) != 0 {
+			t.Fatalf("n=%d: block probabilities sum to %v", n, sum)
+		}
+	}
+}
+
+func TestProbZColFirstMatchesPaper(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		if !ratEq(ProbZColFirstExact(n, 2), PaperProbZ2ColFirst(n)) {
+			t.Fatalf("n=%d: P{z=2} exact %v != paper %v", n, ProbZColFirstExact(n, 2), PaperProbZ2ColFirst(n))
+		}
+		if !ratEq(ProbZColFirstExact(n, 1), PaperProbZ1ColFirst(n)) {
+			t.Fatalf("n=%d: P{z=1} exact %v != paper %v", n, ProbZColFirstExact(n, 1), PaperProbZ1ColFirst(n))
+		}
+	}
+}
+
+func TestEz1ColFirstMatchesPaper(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		if !ratEq(Ez1ColFirstExact(n), PaperEz1ColFirst(n)) {
+			t.Fatalf("n=%d: exact %v != paper %v", n, Ez1ColFirstExact(n), PaperEz1ColFirst(n))
+		}
+	}
+}
+
+func TestEz1SqColFirstMatchesPaper(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		if !ratEq(Ez1SqColFirstExact(n), PaperEz1SqColFirst(n)) {
+			t.Fatalf("n=%d: exact %v != paper %v", n, Ez1SqColFirstExact(n), PaperEz1SqColFirst(n))
+		}
+	}
+}
+
+func TestVarZ1ColFirstAsymptote(t *testing.T) {
+	// Var(Z₁) = n(23/64 − o(1)) per the Theorem 5 proof.
+	v := Float(VarZ1ColFirstExact(200)) / 200
+	if math.Abs(v-23.0/64) > 0.01 {
+		t.Fatalf("Var(Z1)/n = %v, want ≈ 23/64 = %v", v, 23.0/64)
+	}
+}
+
+func TestTheorem4Bound(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32} {
+		side := 2 * n
+		cells := side * side
+		exact := Float(Theorem4BoundExact(n))
+		head := Theorem4BoundHeadline(cells, side)
+		if math.Abs(exact-head) > 3 {
+			t.Fatalf("n=%d: exact bound %v vs headline %v", n, exact, head)
+		}
+	}
+}
+
+// --- Snakelike algorithms ---
+
+func TestEZ10SnakeAMatchesPaperEvenSide(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		side := 2 * n
+		if !ratEq(EZ10SnakeAExact(side), PaperEZ10SnakeA(side)) {
+			t.Fatalf("side=%d: exact %v (%.6f) != paper %v (%.6f)", side,
+				EZ10SnakeAExact(side), Float(EZ10SnakeAExact(side)),
+				PaperEZ10SnakeA(side), Float(PaperEZ10SnakeA(side)))
+		}
+	}
+}
+
+func TestEZ10SnakeAMatchesPaperOddSide(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		side := 2*n + 1
+		if !ratEq(EZ10SnakeAExact(side), PaperEZ10SnakeAOdd(side)) {
+			t.Fatalf("side=%d: exact %v (%.6f) != paper %v (%.6f)", side,
+				EZ10SnakeAExact(side), Float(EZ10SnakeAExact(side)),
+				PaperEZ10SnakeAOdd(side), Float(PaperEZ10SnakeAOdd(side)))
+		}
+	}
+}
+
+func TestEY10SnakeBMatchesPaper(t *testing.T) {
+	for n := 1; n <= 20; n++ {
+		side := 2 * n
+		if !ratEq(EY10SnakeBExact(side), PaperEY10SnakeB(side)) {
+			t.Fatalf("side=%d: exact %v != paper %v", side, EY10SnakeBExact(side), PaperEY10SnakeB(side))
+		}
+	}
+}
+
+func TestVarZ10SnakeAScalesQuadratically(t *testing.T) {
+	// Var[Z₁(0)] = c·n² + O(n); the exact constant c is what E9 measures.
+	v100 := Float(VarZ10SnakeAExact(200)) / (100.0 * 100.0)
+	v50 := Float(VarZ10SnakeAExact(100)) / (50.0 * 50.0)
+	if math.Abs(v100-v50) > 0.02 {
+		t.Fatalf("Var/n² not converging: %v vs %v", v50, v100)
+	}
+	if v100 <= 0 || v100 > 17.0/8 {
+		t.Fatalf("Var/n² = %v out of plausible range", v100)
+	}
+}
+
+func TestVarZ10SnakeACorrectedExpansion(t *testing.T) {
+	// Var[Z₁(0)] = n²/8 + n/16 − 1/32 + o(1): the residual after removing
+	// the polynomial part must be tiny for large n.
+	for _, n := range []int{100, 200} {
+		v := Float(VarZ10SnakeAExact(2 * n))
+		poly := float64(n*n)/8 + float64(n)/16 - 1.0/32
+		if math.Abs(v-poly) > 0.001 {
+			t.Fatalf("n=%d: Var %v vs corrected expansion %v", n, v, poly)
+		}
+	}
+}
+
+func TestPaperVarZ10SnakeADiffersByDocumentedTypo(t *testing.T) {
+	// The printed Theorem 8 Var uses an impossible E[z₂,₁z₄,₁] = 3/4+…;
+	// the exact variance must be strictly smaller but still Θ(n²).
+	n := 50
+	exact := Float(VarZ10SnakeAExact(2 * n))
+	paper := Float(PaperVarZ10SnakeA(n))
+	if exact >= paper {
+		t.Fatalf("exact Var %v >= printed Var %v — documented typo analysis is wrong", exact, paper)
+	}
+	if exact < float64(n*n)/64 {
+		t.Fatalf("exact Var %v implausibly small", exact)
+	}
+}
+
+func TestSnakeAF(t *testing.T) {
+	// f(α,N) = ⌈α/2 + α/(2√N)⌉; with α = N/2, side 8 (N=64): ⌈16+2⌉ = 18.
+	if got := SnakeAF(32, 8); got != 18 {
+		t.Fatalf("f = %d, want 18", got)
+	}
+}
+
+func TestTheorem6AdditionalSteps(t *testing.T) {
+	if got := Theorem6AdditionalSteps(25, 32, 8); got != 4*(25-18-1) {
+		t.Fatalf("got %d", got)
+	}
+	if got := Theorem6AdditionalSteps(2, 32, 8); got != 0 {
+		t.Fatalf("negative bound not clamped: %d", got)
+	}
+}
+
+func TestCorollary3BoundNearHeadline(t *testing.T) {
+	for _, side := range []int{8, 16, 32, 64} {
+		cells := side * side
+		exact := Float(Corollary3Bound(side))
+		head := Theorem7BoundHeadline(cells, side)
+		if math.Abs(exact-head) > 6 {
+			t.Fatalf("side=%d: exact %v vs headline %v", side, exact, head)
+		}
+	}
+}
+
+func TestTheorem10BoundNearHeadline(t *testing.T) {
+	for _, side := range []int{8, 16, 32, 64} {
+		cells := side * side
+		exact := Float(Theorem10Bound(side))
+		head := Theorem10BoundHeadline(cells, side)
+		if math.Abs(exact-head) > float64(side) {
+			t.Fatalf("side=%d: exact %v vs headline %v", side, exact, head)
+		}
+	}
+}
+
+func TestTheorem9AdditionalSteps(t *testing.T) {
+	// α = 32: ⌈α/2⌉ = 16. x = 20 → 4(20−16−1) = 12.
+	if got := Theorem9AdditionalSteps(20, 32); got != 12 {
+		t.Fatalf("got %d", got)
+	}
+	if got := Theorem9AdditionalSteps(20, 33); got != 8 { // ⌈33/2⌉ = 17
+		t.Fatalf("odd alpha: got %d", got)
+	}
+	if got := Theorem9AdditionalSteps(2, 32); got != 0 {
+		t.Fatalf("negative bound not clamped: %d", got)
+	}
+}
+
+func TestAppendixF(t *testing.T) {
+	// side 3 (N=9), α=5: ⌈5·8/18⌉ = ⌈20/9⌉ = 3.
+	if got := AppendixF(5, 3); got != 3 {
+		t.Fatalf("got %d", got)
+	}
+	// side 5 (N=25), α=13: ⌈13·24/50⌉ = ⌈6.24⌉ = 7.
+	if got := AppendixF(13, 5); got != 7 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestTheorem13AdditionalSteps(t *testing.T) {
+	// side 3, α=5, f=3: x=6 → 4(6−3−1) = 8.
+	if got := Theorem13AdditionalSteps(6, 5, 3); got != 8 {
+		t.Fatalf("got %d", got)
+	}
+	if got := Theorem13AdditionalSteps(1, 5, 3); got != 0 {
+		t.Fatalf("negative bound not clamped: %d", got)
+	}
+}
+
+func TestPatternProbPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	PatternProb(4, 2, 3, 3)
+}
+
+func TestSnakeBY10CountsPanicsOnOddSide(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	EY10SnakeBExact(5)
+}
+
+func TestCorollary4BoundPositive(t *testing.T) {
+	for _, side := range []int{9, 15, 33} {
+		if Float(Corollary4Bound(side)) <= 0 {
+			t.Fatalf("side=%d: Corollary 4 bound not positive: %v", side, Float(Corollary4Bound(side)))
+		}
+	}
+}
+
+// --- Bounds and tails ---
+
+func TestTheorem1AdditionalSteps(t *testing.T) {
+	// side 8, α = 32: ⌈32/8⌉ = 4. x = 7 → (7−4−1)·16 = 32.
+	if got := Theorem1AdditionalSteps(7, 32, 8); got != 32 {
+		t.Fatalf("got %d", got)
+	}
+	if got := Theorem1AdditionalSteps(3, 32, 8); got != 0 {
+		t.Fatalf("negative not clamped: %d", got)
+	}
+}
+
+func TestCorollary1WorstCase(t *testing.T) {
+	if got := Corollary1WorstCase(64, 8); got != 96 {
+		t.Fatalf("got %d", got)
+	}
+}
+
+func TestChebyshevClamps(t *testing.T) {
+	if got := Chebyshev(big.NewRat(1, 1), big.NewRat(0, 1)); got != 1 {
+		t.Fatalf("t=0 should clamp to 1, got %v", got)
+	}
+	if got := Chebyshev(big.NewRat(100, 1), big.NewRat(1, 1)); got != 1 {
+		t.Fatalf("bound > 1 should clamp, got %v", got)
+	}
+	if got := Chebyshev(big.NewRat(1, 1), big.NewRat(10, 1)); got != 0.01 {
+		t.Fatalf("got %v, want 0.01", got)
+	}
+}
+
+func TestTailBoundsDecayWithN(t *testing.T) {
+	// Theorems 3, 5, 8: the tail bounds must vanish as n grows.
+	for _, f := range []func(int, float64) float64{Theorem3TailBound, Theorem5TailBound, Theorem8TailBound, Theorem11TailBound} {
+		small := f(8, 0.2)
+		large := f(64, 0.2)
+		if large >= small {
+			t.Fatalf("tail bound did not decay: n=8 %v, n=64 %v", small, large)
+		}
+		if large < 0 || large > 1 {
+			t.Fatalf("bound out of range: %v", large)
+		}
+	}
+}
+
+func TestTheorem3TailBoundMatchesPaperScale(t *testing.T) {
+	// Bound ≈ (3/8)/(n(1/2−γ)²) for large n.
+	n := 100
+	gamma := 0.25
+	got := Theorem3TailBound(n, gamma)
+	want := (3.0 / 8) / (float64(n) * (0.5 - gamma) * (0.5 - gamma))
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("got %v, want ≈ %v", got, want)
+	}
+}
+
+func TestTheorem12TailBound(t *testing.T) {
+	if got := Theorem12TailBound(0.5, 100); math.Abs(got-(0.25+0.0025)) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestGammaAboveMeanGivesTrivialBound(t *testing.T) {
+	// For γ near the mean scale the threshold exceeds E and the bound is 1.
+	if got := Theorem3TailBound(10, 0.6); got != 1 {
+		t.Fatalf("got %v, want 1", got)
+	}
+}

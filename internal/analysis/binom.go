@@ -1,0 +1,86 @@
+// Package analysis implements the paper's closed-form expectations,
+// variances, and lower bounds in exact rational arithmetic.
+//
+// Two layers are provided for every quantity:
+//
+//   - *Exact functions compute the value from hypergeometric first
+//     principles (counting 0-1 matrices with math/big), with no algebra in
+//     between. These are the reference values used by the experiments.
+//   - Paper* functions evaluate the closed forms as printed in the paper.
+//     Tests confirm they agree with the exact computation; the handful of
+//     places where the printed algebra contains typos (noted in
+//     EXPERIMENTS.md) are documented at the corresponding function.
+//
+// The probabilistic model is the paper's A^01 ensemble: a uniformly random
+// 0-1 matrix with N = (side)² cells, α of which are zeroes (α = N/2 for
+// even sides, α = 2n²+2n+1 for side 2n+1).
+package analysis
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Binomial returns C(n, k) as a big.Int. k outside [0, n] yields 0.
+func Binomial(n, k int) *big.Int {
+	z := new(big.Int)
+	if k < 0 || k > n {
+		return z
+	}
+	return z.Binomial(int64(n), int64(k))
+}
+
+// fallingFactorial returns n·(n−1)·…·(n−k+1) as a big.Int (1 for k = 0).
+func fallingFactorial(n, k int) *big.Int {
+	out := big.NewInt(1)
+	for i := 0; i < k; i++ {
+		out.Mul(out, big.NewInt(int64(n-i)))
+	}
+	return out
+}
+
+// PatternProb returns the probability that k0+k1 specified distinct cells
+// of a random 0-1 matrix with total cells and zeros zeroes hold a specific
+// pattern with k0 zeroes and k1 ones:
+//
+//	(zeros)_{k0} · (total−zeros)_{k1} / (total)_{k0+k1}
+//
+// in falling-factorial notation. It panics on impossible arguments.
+func PatternProb(total, zeros, k0, k1 int) *big.Rat {
+	if zeros < 0 || zeros > total || k0 < 0 || k1 < 0 || k0+k1 > total {
+		panic(fmt.Sprintf("analysis: PatternProb(%d,%d,%d,%d) out of range", total, zeros, k0, k1))
+	}
+	num := new(big.Int).Mul(fallingFactorial(zeros, k0), fallingFactorial(total-zeros, k1))
+	den := fallingFactorial(total, k0+k1)
+	return new(big.Rat).SetFrac(num, den)
+}
+
+// ratInt returns r as a big.Rat from an int.
+func ratInt(v int) *big.Rat { return new(big.Rat).SetInt64(int64(v)) }
+
+// rat returns the rational p/q.
+func rat(p, q int64) *big.Rat { return big.NewRat(p, q) }
+
+// add, sub, mul, quo are small helpers that allocate a fresh result.
+func add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+func sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+func mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+func quo(a, b *big.Rat) *big.Rat { return new(big.Rat).Quo(a, b) }
+
+// Float converts a big.Rat to float64 (for reporting only).
+func Float(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}
+
+// CeilRat returns ⌈r⌉ as an int.
+func CeilRat(r *big.Rat) int {
+	q := new(big.Int).Quo(r.Num(), r.Denom())
+	if r.Sign() > 0 {
+		rem := new(big.Int).Rem(r.Num(), r.Denom())
+		if rem.Sign() != 0 {
+			q.Add(q, big.NewInt(1))
+		}
+	}
+	return int(q.Int64())
+}

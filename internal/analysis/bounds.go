@@ -1,0 +1,82 @@
+package analysis
+
+import "math/big"
+
+// Theorem1AdditionalSteps returns the Theorem 1 lower bound on the steps
+// remaining for the row-major algorithms when, after an odd row sorting
+// step, some paper-odd column holds x zeroes (or some paper-even column has
+// weight x) on a mesh with α zeroes (x playing the role of both cases'
+// statistic): (x − ⌈α/√N⌉ − 1)·2√N, clamped at 0.
+func Theorem1AdditionalSteps(x, alpha, side int) int {
+	ceil := (alpha + side - 1) / side
+	b := (x - ceil - 1) * 2 * side
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Corollary1WorstCase returns the Corollary 1 worst-case lower bound for
+// both row-major algorithms: 2N − 4√N steps (attained by the all-zero
+// column input).
+func Corollary1WorstCase(nCells, side int) int {
+	return 2*nCells - 4*side
+}
+
+// Chebyshev returns the Chebyshev upper bound Var/t² on
+// P[X ≤ E[X] − t] for t > 0, clamped to [0, 1].
+func Chebyshev(variance *big.Rat, t *big.Rat) float64 {
+	if t.Sign() <= 0 {
+		return 1
+	}
+	b := Float(quo(variance, mul(t, t)))
+	if b > 1 {
+		return 1
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Theorem3TailBound returns the Chebyshev bound of Theorem 3 on
+// P[Z₁ ≤ (γ+1)n + 1] for the row-first algorithm, using the exact mean and
+// variance (the paper's asymptotic form is Var(Z₁)/(n(1/2−γ−o(1)))²).
+func Theorem3TailBound(n int, gamma float64) float64 {
+	mean := EZ1RowFirstExact(n)
+	threshold := new(big.Rat).SetFloat64((gamma+1)*float64(n) + 1)
+	t := sub(mean, threshold)
+	return Chebyshev(VarZ1RowFirstExact(n), t)
+}
+
+// Theorem5TailBound returns the Chebyshev bound of Theorem 5 on
+// P[Z₁ ≤ (γ+1)n + 1] for the column-first algorithm.
+func Theorem5TailBound(n int, gamma float64) float64 {
+	mean := mul(ratInt(n), Ez1ColFirstExact(n))
+	threshold := new(big.Rat).SetFloat64((gamma+1)*float64(n) + 1)
+	t := sub(mean, threshold)
+	return Chebyshev(VarZ1ColFirstExact(n), t)
+}
+
+// Theorem8TailBound returns the Chebyshev bound of Theorem 8 on
+// P[Z₁(0) ≤ n²(γ+1) + n/2 + 1] for the first snakelike algorithm on an
+// even side 2n.
+func Theorem8TailBound(n int, gamma float64) float64 {
+	side := 2 * n
+	mean := EZ10SnakeAExact(side)
+	threshold := new(big.Rat).SetFloat64((gamma+1)*float64(n*n) + float64(n)/2 + 1)
+	t := sub(mean, threshold)
+	return Chebyshev(VarZ10SnakeAExact(side), t)
+}
+
+// Theorem11TailBound returns the Chebyshev bound of Theorem 11 — the
+// second snakelike algorithm's analogue of Theorem 8, built on Y₁(0):
+// steps < γN implies Y₁(0) ≤ γn² + N/4 + 1 by Theorem 9, so the tail is
+// bounded by Var[Y₁(0)]/t² with t = E[Y₁(0)] − (γn² + N/4 + 1).
+func Theorem11TailBound(n int, gamma float64) float64 {
+	side := 2 * n
+	mean := EY10SnakeBExact(side)
+	threshold := new(big.Rat).SetFloat64(gamma*float64(n*n) + float64(side*side)/4 + 1)
+	t := sub(mean, threshold)
+	return Chebyshev(VarY10SnakeBExact(side), t)
+}

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"math/big"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/sched"
+	"repro/internal/zeroone"
+)
+
+// enumerateHalfZeroStats applies the first step of schedule s to every 4x4
+// 0-1 matrix with exactly 8 zeroes and returns the exact mean and variance
+// of stat over that ensemble.
+func enumerateHalfZeroStats(t *testing.T, s sched.Schedule, stat func(*grid.Grid) int) (mean, variance *big.Rat) {
+	t.Helper()
+	count := 0
+	sum := big.NewInt(0)
+	sumSq := big.NewInt(0)
+	vals := make([]int, 16)
+	for mask := 0; mask < 1<<16; mask++ {
+		ones := 0
+		for i := 0; i < 16; i++ {
+			vals[i] = (mask >> i) & 1
+			ones += vals[i]
+		}
+		if ones != 8 {
+			continue
+		}
+		count++
+		g := grid.FromValues(4, 4, vals)
+		engine.ApplyStep(g, s.Step(1))
+		v := stat(g)
+		sum.Add(sum, big.NewInt(int64(v)))
+		sumSq.Add(sumSq, big.NewInt(int64(v*v)))
+	}
+	n := big.NewInt(int64(count))
+	mean = new(big.Rat).SetFrac(sum, n)
+	eSq := new(big.Rat).SetFrac(sumSq, n)
+	variance = new(big.Rat).Sub(eSq, new(big.Rat).Mul(mean, mean))
+	return mean, variance
+}
+
+func TestEZ10AndVarZ10SnakeAExhaustiveSide4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	mean, variance := enumerateHalfZeroStats(t, sched.NewSnakeA(4, 4), zeroone.SnakeZ1)
+	if mean.Cmp(EZ10SnakeAExact(4)) != 0 {
+		t.Fatalf("E[Z1(0)] enumerated %v != exact %v", mean, EZ10SnakeAExact(4))
+	}
+	if variance.Cmp(VarZ10SnakeAExact(4)) != 0 {
+		t.Fatalf("Var[Z1(0)] enumerated %v != exact %v", variance, VarZ10SnakeAExact(4))
+	}
+}
+
+func TestEY10AndVarY10SnakeBExhaustiveSide4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	mean, variance := enumerateHalfZeroStats(t, sched.NewSnakeB(4, 4), zeroone.SnakeY1)
+	if mean.Cmp(EY10SnakeBExact(4)) != 0 {
+		t.Fatalf("E[Y1(0)] enumerated %v != exact %v", mean, EY10SnakeBExact(4))
+	}
+	if variance.Cmp(VarY10SnakeBExact(4)) != 0 {
+		t.Fatalf("Var[Y1(0)] enumerated %v != exact %v", variance, VarY10SnakeBExact(4))
+	}
+}
+
+func TestEZ10SnakeAExhaustiveOddSide3(t *testing.T) {
+	// Appendix ensemble: 3×3 mesh, α = 2n²+2n+1 = 5 zeroes. Enumerate all
+	// C(9,5) = 126 matrices, apply the first snake-a step, and compare the
+	// exact mean AND variance of Z₁(0) with the indicator-structure
+	// formulas (including the odd-side raw/pair classification).
+	s := sched.NewSnakeA(3, 3)
+	count := 0
+	sum := big.NewInt(0)
+	sumSq := big.NewInt(0)
+	vals := make([]int, 9)
+	for mask := 0; mask < 1<<9; mask++ {
+		ones := 0
+		for i := 0; i < 9; i++ {
+			vals[i] = (mask >> i) & 1
+			ones += vals[i]
+		}
+		if ones != 4 { // 5 zeroes
+			continue
+		}
+		count++
+		g := grid.FromValues(3, 3, vals)
+		engine.ApplyStep(g, s.Step(1))
+		v := zeroone.SnakeZ1(g)
+		sum.Add(sum, big.NewInt(int64(v)))
+		sumSq.Add(sumSq, big.NewInt(int64(v*v)))
+	}
+	if count != 126 {
+		t.Fatalf("enumerated %d matrices, want 126", count)
+	}
+	n := big.NewInt(int64(count))
+	mean := new(big.Rat).SetFrac(sum, n)
+	eSq := new(big.Rat).SetFrac(sumSq, n)
+	variance := new(big.Rat).Sub(eSq, new(big.Rat).Mul(mean, mean))
+	if mean.Cmp(EZ10SnakeAExact(3)) != 0 {
+		t.Fatalf("odd-side E[Z1(0)] enumerated %v != exact %v", mean, EZ10SnakeAExact(3))
+	}
+	if variance.Cmp(VarZ10SnakeAExact(3)) != 0 {
+		t.Fatalf("odd-side Var[Z1(0)] enumerated %v != exact %v", variance, VarZ10SnakeAExact(3))
+	}
+	if mean.Cmp(PaperEZ10SnakeAOdd(3)) != 0 {
+		t.Fatalf("odd-side enumerated mean %v != Lemma 14 closed form %v", mean, PaperEZ10SnakeAOdd(3))
+	}
+}
+
+func TestEz1ColFirstExhaustiveSide4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped in -short mode")
+	}
+	// Apply BOTH first steps of rm-cf, then count zeroes in rows 0..1 of
+	// column 0 (the paper's z_1 for the first block row): its expectation
+	// is E[z1].
+	s := sched.NewRowMajorColFirst(4, 4)
+	count := 0
+	sum := big.NewInt(0)
+	vals := make([]int, 16)
+	for mask := 0; mask < 1<<16; mask++ {
+		ones := 0
+		for i := 0; i < 16; i++ {
+			vals[i] = (mask >> i) & 1
+			ones += vals[i]
+		}
+		if ones != 8 {
+			continue
+		}
+		count++
+		g := grid.FromValues(4, 4, vals)
+		engine.ApplyStep(g, s.Step(1))
+		engine.ApplyStep(g, s.Step(2))
+		z := 0
+		if g.At(0, 0) == 0 {
+			z++
+		}
+		if g.At(1, 0) == 0 {
+			z++
+		}
+		sum.Add(sum, big.NewInt(int64(z)))
+	}
+	mean := new(big.Rat).SetFrac(sum, big.NewInt(int64(count)))
+	if mean.Cmp(Ez1ColFirstExact(2)) != 0 {
+		t.Fatalf("E[z1] enumerated %v != exact %v", mean, Ez1ColFirstExact(2))
+	}
+}

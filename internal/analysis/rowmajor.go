@@ -1,0 +1,265 @@
+package analysis
+
+import (
+	"math/big"
+
+	"repro/internal/zeroone"
+)
+
+// ---------------------------------------------------------------------------
+// Row-major algorithm beginning with a row sort (paper §2, Lemma 4,
+// Theorems 2 and 3). The mesh is 2n×2n with α = 2n² zeroes.
+// ---------------------------------------------------------------------------
+
+// Ez1RowFirstExact returns E[z₁] for the row-first algorithm: the
+// probability that cell (1,1) of A — the mesh after the first row sorting
+// step — holds a zero, i.e. that the initial cells (1,1),(1,2) are not both
+// ones.
+func Ez1RowFirstExact(n int) *big.Rat {
+	total, zeros := 4*n*n, 2*n*n
+	return sub(ratInt(1), PatternProb(total, zeros, 0, 2))
+}
+
+// PaperEz1RowFirst returns the paper's closed form E[z₁] = 3/4 + 1/(16n²−4)
+// (proof of Lemma 4).
+func PaperEz1RowFirst(n int) *big.Rat {
+	return add(rat(3, 4), new(big.Rat).SetFrac64(1, int64(16*n*n-4)))
+}
+
+// EZ1RowFirstExact returns E[Z₁] = 2n·E[z₁]: the expected number of zeroes
+// in column 1 after the first row sort.
+func EZ1RowFirstExact(n int) *big.Rat {
+	return mul(ratInt(2*n), Ez1RowFirstExact(n))
+}
+
+// PaperEZ1RowFirst returns the paper's E[Z₁] = 3n/2 + n/(8n²−2).
+func PaperEZ1RowFirst(n int) *big.Rat {
+	return add(rat(3*int64(n), 2), new(big.Rat).SetFrac64(int64(n), int64(8*n*n-2)))
+}
+
+// Ez1z2RowFirstExact returns E[z₁z₂] = P{z₁ = z₂ = 1}: the probability that
+// both cells (1,1) and (2,1) of A hold zeroes. By inclusion-exclusion this
+// is 1 − 2·P[one row-pair all ones] + P[both row-pairs all ones].
+func Ez1z2RowFirstExact(n int) *big.Rat {
+	total, zeros := 4*n*n, 2*n*n
+	pPair := PatternProb(total, zeros, 0, 2)
+	pBoth := PatternProb(total, zeros, 0, 4)
+	return add(sub(ratInt(1), mul(ratInt(2), pPair)), pBoth)
+}
+
+// PaperEz1z2RowFirst returns the paper's closed form
+// E[z₁z₂] = 9/16 + (n²−3/8)/(32n⁴−32n²+6).
+func PaperEz1z2RowFirst(n int) *big.Rat {
+	num := sub(ratInt(n*n), rat(3, 8))
+	den := ratInt(32*n*n*n*n - 32*n*n + 6)
+	return add(rat(9, 16), quo(num, den))
+}
+
+// VarZ1RowFirstExact returns Var(Z₁) for the row-first algorithm, computed
+// from the exact moments:
+//
+//	Var(Z₁) = 2n·E[z₁] + 2n(2n−1)·E[z₁z₂] − (E[Z₁])².
+func VarZ1RowFirstExact(n int) *big.Rat {
+	ez1 := Ez1RowFirstExact(n)
+	ez1z2 := Ez1z2RowFirstExact(n)
+	eZ1 := EZ1RowFirstExact(n)
+	v := mul(ratInt(2*n), ez1)
+	v = add(v, mul(ratInt(2*n*(2*n-1)), ez1z2))
+	return sub(v, mul(eZ1, eZ1))
+}
+
+// PaperVarZ1RowFirst returns the paper's printed closed form
+//
+//	Var(Z₁) = 3n/8 − (64n⁶−12n⁵−76n⁴+19n³+21n²−(9/2)n) / ((8n²−2)²(4n²−3)).
+//
+// NOTE: this printed polynomial deviates from the true variance by a
+// lower-order term (e.g. 19/2925 at n = 2, verified by exhaustive
+// enumeration of all C(16,8) matrices); the leading behaviour n(3/8 − o(1))
+// is unaffected. Use VarZ1RowFirstExact for computations. See
+// EXPERIMENTS.md (E6).
+func PaperVarZ1RowFirst(n int) *big.Rat {
+	num := new(big.Rat)
+	for _, term := range []struct {
+		coef *big.Rat
+		pow  int
+	}{
+		{ratInt(64), 6}, {ratInt(-12), 5}, {ratInt(-76), 4},
+		{ratInt(19), 3}, {ratInt(21), 2}, {rat(-9, 2), 1},
+	} {
+		p := ratInt(1)
+		for i := 0; i < term.pow; i++ {
+			p = mul(p, ratInt(n))
+		}
+		num = add(num, mul(term.coef, p))
+	}
+	d1 := ratInt(8*n*n - 2)
+	den := mul(mul(d1, d1), ratInt(4*n*n-3))
+	return sub(rat(3*int64(n), 8), quo(num, den))
+}
+
+// EMLowerRowFirst returns the Lemma 4 lower bound on E[M]:
+// E[M] ≥ E[Z₁] − n − 1 = n/2 + n/(8n²−2) − 1.
+func EMLowerRowFirst(n int) *big.Rat {
+	return sub(EZ1RowFirstExact(n), ratInt(n+1))
+}
+
+// Theorem2BoundExact returns the Corollary 2 / Theorem 2 lower bound on the
+// average number of steps for the row-first algorithm: 4n·(E[Z₁] − n − 1).
+func Theorem2BoundExact(n int) *big.Rat {
+	return mul(ratInt(4*n), EMLowerRowFirst(n))
+}
+
+// Theorem2BoundHeadline returns the headline form of the Theorem 2 bound,
+// N/2 − 2√N, as a float.
+func Theorem2BoundHeadline(nCells int, side int) float64 {
+	return float64(nCells)/2 - 2*float64(side)
+}
+
+// ---------------------------------------------------------------------------
+// Row-major algorithm beginning with a column sort (paper §2, Theorems 4
+// and 5). The key object is the 2×2 block mapping: after the first column
+// sort and row sort, each aligned 2×2 block is replaced by its canonical
+// image, and z_h counts the zeroes the block leaves in column 1.
+// ---------------------------------------------------------------------------
+
+// blockPatterns enumerates all 16 2×2 0-1 blocks as [r0c0,r0c1,r1c0,r1c1].
+func blockPatterns() [][4]int {
+	out := make([][4]int, 0, 16)
+	for mask := 0; mask < 16; mask++ {
+		out = append(out, [4]int{mask & 1, (mask >> 1) & 1, (mask >> 2) & 1, (mask >> 3) & 1})
+	}
+	return out
+}
+
+// blockZeros counts the zeroes of a block.
+func blockZeros(b [4]int) int {
+	z := 0
+	for _, v := range b {
+		if v == 0 {
+			z++
+		}
+	}
+	return z
+}
+
+// blockColumn1Zeros returns the paper's z_h for an initial block: the
+// number of zeroes in the left column of the block's canonical image.
+func blockColumn1Zeros(b [4]int) int {
+	c := zeroone.BlockCanonical(b)
+	z := 0
+	if c[0] == 0 {
+		z++
+	}
+	if c[2] == 0 {
+		z++
+	}
+	return z
+}
+
+// BlockPatternProbExact returns the probability that a specific aligned
+// 2×2 block of A^01 equals a specific pattern with z zeroes:
+// C(4n²−4, 2n²−z)/C(4n², 2n²), computed as a falling-factorial ratio.
+func BlockPatternProbExact(n, z int) *big.Rat {
+	return PatternProb(4*n*n, 2*n*n, z, 4-z)
+}
+
+// ProbZColFirstExact returns P{z_h = v} for v ∈ {0,1,2} under the
+// column-first algorithm, by summing the exact pattern probabilities over
+// all initial blocks whose canonical image leaves v zeroes in column 1.
+func ProbZColFirstExact(n, v int) *big.Rat {
+	total := new(big.Rat)
+	for _, b := range blockPatterns() {
+		if blockColumn1Zeros(b) == v {
+			total = add(total, BlockPatternProbExact(n, blockZeros(b)))
+		}
+	}
+	return total
+}
+
+// PaperProbZ2ColFirst returns the paper's P{z₁ = 2} = 7/16 −
+// (n²−3/8)/(32n⁴−32n²+6).
+func PaperProbZ2ColFirst(n int) *big.Rat {
+	num := sub(ratInt(n*n), rat(3, 8))
+	den := ratInt(32*n*n*n*n - 32*n*n + 6)
+	return sub(rat(7, 16), quo(num, den))
+}
+
+// PaperProbZ1ColFirst returns the paper's P{z₁ = 1} = 1/2 + 1/(8n²−2).
+func PaperProbZ1ColFirst(n int) *big.Rat {
+	return add(rat(1, 2), new(big.Rat).SetFrac64(1, int64(8*n*n-2)))
+}
+
+// Ez1ColFirstExact returns E[z₁] = 2·P{z₁=2} + P{z₁=1} exactly.
+func Ez1ColFirstExact(n int) *big.Rat {
+	return add(mul(ratInt(2), ProbZColFirstExact(n, 2)), ProbZColFirstExact(n, 1))
+}
+
+// PaperEz1ColFirst returns the paper's E[z₁] = 11/8 +
+// (n²−9/8)/(16n⁴−16n²+3).
+func PaperEz1ColFirst(n int) *big.Rat {
+	num := sub(ratInt(n*n), rat(9, 8))
+	den := ratInt(16*n*n*n*n - 16*n*n + 3)
+	return add(rat(11, 8), quo(num, den))
+}
+
+// Ez1SqColFirstExact returns E[z₁²] = 4·P{z₁=2} + P{z₁=1} exactly.
+func Ez1SqColFirstExact(n int) *big.Rat {
+	return add(mul(ratInt(4), ProbZColFirstExact(n, 2)), ProbZColFirstExact(n, 1))
+}
+
+// PaperEz1SqColFirst returns the paper's E[z₁²] = 9/4 − 3/(64n⁴−64n²+12).
+func PaperEz1SqColFirst(n int) *big.Rat {
+	return sub(rat(9, 4), new(big.Rat).SetFrac64(3, int64(64*n*n*n*n-64*n*n+12)))
+}
+
+// Ez1z2ColFirstExact returns E[z₁z₂] for two vertically adjacent blocks of
+// the same block column, by enumerating all 16×16 joint initial patterns
+// of the 8 cells involved.
+func Ez1z2ColFirstExact(n int) *big.Rat {
+	total, zeros := 4*n*n, 2*n*n
+	sum := new(big.Rat)
+	for _, b1 := range blockPatterns() {
+		v1 := blockColumn1Zeros(b1)
+		if v1 == 0 {
+			continue
+		}
+		for _, b2 := range blockPatterns() {
+			v2 := blockColumn1Zeros(b2)
+			if v2 == 0 {
+				continue
+			}
+			z := blockZeros(b1) + blockZeros(b2)
+			p := PatternProb(total, zeros, z, 8-z)
+			sum = add(sum, mul(ratInt(v1*v2), p))
+		}
+	}
+	return sum
+}
+
+// VarZ1ColFirstExact returns Var(Z₁) for the column-first algorithm:
+//
+//	Var(Z₁) = n·E[z₁²] + n(n−1)·E[z₁z₂] − (n·E[z₁])².
+func VarZ1ColFirstExact(n int) *big.Rat {
+	ez1 := Ez1ColFirstExact(n)
+	eZ1 := mul(ratInt(n), ez1)
+	v := mul(ratInt(n), Ez1SqColFirstExact(n))
+	v = add(v, mul(ratInt(n*(n-1)), Ez1z2ColFirstExact(n)))
+	return sub(v, mul(eZ1, eZ1))
+}
+
+// EMLowerColFirst returns the Theorem 4 lower bound on E[M] for the
+// column-first algorithm: E[M] ≥ n·E[z₁] − n − 1.
+func EMLowerColFirst(n int) *big.Rat {
+	return sub(mul(ratInt(n), Ez1ColFirstExact(n)), ratInt(n+1))
+}
+
+// Theorem4BoundExact returns the Theorem 4 lower bound on the average
+// number of steps for the column-first algorithm: 4n·(n·E[z₁] − n − 1).
+func Theorem4BoundExact(n int) *big.Rat {
+	return mul(ratInt(4*n), EMLowerColFirst(n))
+}
+
+// Theorem4BoundHeadline returns the headline form 3N/8 − 2√N as a float.
+func Theorem4BoundHeadline(nCells, side int) float64 {
+	return 3*float64(nCells)/8 - 2*float64(side)
+}

@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// ---------------------------------------------------------------------------
+// Snakelike algorithms (paper §3 and appendix).
+//
+// After the first step of SN-A/SN-B, the statistic Z₁(0) (resp. Y₁(0)) is a
+// sum of two kinds of indicators over the A^01 ensemble:
+//
+//   - "pair-min" indicators: the cell received the minimum of a disjoint
+//     2-cell comparison, so it is zero unless both initial cells were ones
+//     (probability p₁ = 1 − P[2 ones]);
+//   - "raw" indicators: the cell was untouched by the first step
+//     (probability α/N).
+//
+// All pair-min indicators in the statistic depend on pairwise-disjoint cell
+// pairs, and the raw cells are distinct and disjoint from all pairs, which
+// makes the exact first and second moments a matter of multivariate
+// hypergeometric pattern probabilities. The counts of each kind are:
+//
+//	Z₁(0), even side 2n:  A = 2n²−n pair terms,  B = 2n raw terms
+//	Z₁(0), odd side 2n+1: A = (N−√N)/2,          B = √N−1 raw terms
+//	Y₁(0), even side 2n:  A = 2n²−n,             B = n
+// ---------------------------------------------------------------------------
+
+// indicatorCounts returns the pair-term count A and raw-term count B of a
+// snakelike statistic.
+type indicatorCounts struct {
+	total, zeros int // ensemble parameters: N cells, α zeroes
+	pairs, raws  int // A and B
+}
+
+// snakeAZ10Counts returns the indicator structure of Z₁(0) for SN-A on a
+// side×side mesh (even or odd side; the appendix's Definitions 12–13 give
+// the odd case).
+func snakeAZ10Counts(side int) indicatorCounts {
+	n := side * side
+	alpha := (n + 1) / 2
+	if side%2 == 0 {
+		// (N − √N)/2 pair terms; √N raw terms (even rows of column 1 and
+		// of the last column).
+		return indicatorCounts{total: n, zeros: alpha, pairs: (n - side) / 2, raws: side}
+	}
+	// Odd side (Lemma 14's derivation): the even-row cells of the last
+	// column ARE pair-min terms here — with width 2n+1 the even step pairs
+	// columns (2n, 2n+1) — so only the (√N−1)/2 even-row cells of column 1
+	// are raw.
+	return indicatorCounts{total: n, zeros: alpha, pairs: (n - side) / 2, raws: (side - 1) / 2}
+}
+
+// snakeBY10Counts returns the indicator structure of Y₁(0) for SN-B on an
+// even side×side mesh.
+func snakeBY10Counts(side int) indicatorCounts {
+	if side%2 != 0 {
+		panic(fmt.Sprintf("analysis: Y1(0) analysis requires an even side, got %d", side))
+	}
+	n := side * side
+	return indicatorCounts{total: n, zeros: n / 2, pairs: (n - side) / 2, raws: side / 2}
+}
+
+// pairMinProb returns p₁ = P[a disjoint 2-cell pair is not all ones].
+func (c indicatorCounts) pairMinProb() *big.Rat {
+	return sub(ratInt(1), PatternProb(c.total, c.zeros, 0, 2))
+}
+
+// rawProb returns α/N.
+func (c indicatorCounts) rawProb() *big.Rat {
+	return rat(int64(c.zeros), int64(c.total))
+}
+
+// mean returns E[statistic] = A·p₁ + B·α/N exactly.
+func (c indicatorCounts) mean() *big.Rat {
+	return add(mul(ratInt(c.pairs), c.pairMinProb()), mul(ratInt(c.raws), c.rawProb()))
+}
+
+// variance returns Var[statistic] exactly:
+//
+//	E[S²] = A·p₁ + A(A−1)·p₂ + 2AB·q + B·(α/N) + B(B−1)·r
+//	p₂ = P[two disjoint pairs each contain a zero]
+//	q  = P[a pair contains a zero AND a raw cell is zero]
+//	r  = P[two raw cells both zero]
+func (c indicatorCounts) variance() *big.Rat {
+	p1 := c.pairMinProb()
+	// p₂ = 1 − 2·P[2 ones] + P[4 ones].
+	p2 := add(sub(ratInt(1), mul(ratInt(2), PatternProb(c.total, c.zeros, 0, 2))),
+		PatternProb(c.total, c.zeros, 0, 4))
+	// q = P[cell 0] − P[cell 0 ∧ pair both 1].
+	q := sub(c.rawProb(), PatternProb(c.total, c.zeros, 1, 2))
+	// r = P[2 cells both 0].
+	r := PatternProb(c.total, c.zeros, 2, 0)
+
+	e2 := mul(ratInt(c.pairs), p1)
+	e2 = add(e2, mul(ratInt(c.pairs*(c.pairs-1)), p2))
+	e2 = add(e2, mul(ratInt(2*c.pairs*c.raws), q))
+	e2 = add(e2, mul(ratInt(c.raws), c.rawProb()))
+	e2 = add(e2, mul(ratInt(c.raws*(c.raws-1)), r))
+
+	m := c.mean()
+	return sub(e2, mul(m, m))
+}
+
+// EZ10SnakeAExact returns E[Z₁(0)] for the first snakelike algorithm on a
+// side×side mesh, exactly (Lemma 9 for even sides, Lemma 14 for odd).
+func EZ10SnakeAExact(side int) *big.Rat {
+	return snakeAZ10Counts(side).mean()
+}
+
+// PaperEZ10SnakeA returns Lemma 9's closed form for even side √N:
+//
+//	E[Z₁(0)] = 3N/8 + √N/8 + √N/(8(√N+1)).
+func PaperEZ10SnakeA(side int) *big.Rat {
+	n := side * side
+	v := rat(3*int64(n), 8)
+	v = add(v, rat(int64(side), 8))
+	return add(v, rat(int64(side), 8*int64(side+1)))
+}
+
+// PaperEZ10SnakeAOdd returns Lemma 14's closed form for odd side √N:
+//
+//	E[Z₁(0)] = 3N/8 − √N/8 + (N−√N−2)/(8N).
+func PaperEZ10SnakeAOdd(side int) *big.Rat {
+	n := side * side
+	v := rat(3*int64(n), 8)
+	v = sub(v, rat(int64(side), 8))
+	return add(v, rat(int64(n-side-2), 8*int64(n)))
+}
+
+// VarZ10SnakeAExact returns Var[Z₁(0)] for the first snakelike algorithm,
+// exactly from the indicator structure. For even sides 2n the value
+// expands as
+//
+//	Var[Z₁(0)] = n²/8 + n/16 − 1/32 + o(1),
+//
+// which is the corrected form of the Theorem 8 proof's printed
+// 17/8·n² − 7/16·n + … (see PaperVarZ10SnakeA for the documented typo).
+func VarZ10SnakeAExact(side int) *big.Rat {
+	return snakeAZ10Counts(side).variance()
+}
+
+// PaperVarZ10SnakeA returns the Theorem 8 proof's printed closed form for
+// even side 2n:
+//
+//	Var[Z₁(0)] = 17/8·n² − 7/16·n + (11n²+6n)/(8n+4)² + (3/8)(n²−n)/(8n²−6).
+//
+// NOTE: the printed derivation contains a typo (it uses E[z₂,₁z₄,₁] =
+// 3/4 + 1/(16n²−4), which exceeds E[z₂,₁] = 1/2 and is impossible for
+// indicator variables; the correct value is a two-cell zero-zero
+// hypergeometric probability ≈ 1/4). The typo inflates E(Z₂²) — and hence
+// the variance — by 2n² + o(n²): the true leading constant is
+// 17/8 − 2 = 1/8, i.e. Var[Z₁(0)] = n²(1/8 + o(1)), which
+// VarZ10SnakeAExact computes (exhaustively verified at side 4) and the
+// Monte-Carlo experiments confirm. Theorem 8's conclusion is unaffected —
+// Var = Θ(n²) = o(n⁴) is all the Chebyshev argument needs. See
+// EXPERIMENTS.md (E09).
+func PaperVarZ10SnakeA(n int) *big.Rat {
+	v := mul(rat(17, 8), ratInt(n*n))
+	v = sub(v, mul(rat(7, 16), ratInt(n)))
+	d := ratInt((8*n + 4) * (8*n + 4))
+	v = add(v, quo(ratInt(11*n*n+6*n), d))
+	return add(v, mul(rat(3, 8), quo(ratInt(n*n-n), ratInt(8*n*n-6))))
+}
+
+// EY10SnakeBExact returns E[Y₁(0)] for the second snakelike algorithm on an
+// even side×side mesh (Lemma 11).
+func EY10SnakeBExact(side int) *big.Rat {
+	return snakeBY10Counts(side).mean()
+}
+
+// PaperEY10SnakeB returns Lemma 11's closed form:
+//
+//	E[Y₁(0)] = 3N/8 − √N/8 + √N/(8(√N+1)).
+func PaperEY10SnakeB(side int) *big.Rat {
+	n := side * side
+	v := rat(3*int64(n), 8)
+	v = sub(v, rat(int64(side), 8))
+	return add(v, rat(int64(side), 8*int64(side+1)))
+}
+
+// VarY10SnakeBExact returns Var[Y₁(0)] exactly.
+func VarY10SnakeBExact(side int) *big.Rat {
+	return snakeBY10Counts(side).variance()
+}
+
+// SnakeAF returns f(α, N) = ⌈α/2 + α/(2√N)⌉ of Theorem 6.
+func SnakeAF(alpha, side int) int {
+	n := side * side
+	v := add(rat(int64(alpha), 2), rat(int64(alpha), 2*int64(side)))
+	_ = n
+	return CeilRat(v)
+}
+
+// Theorem6AdditionalSteps returns the Theorem 6 lower bound on the
+// remaining steps when Z₁(0) = x on a mesh with α zeroes: 4(x − f(α,N) − 1),
+// clamped at 0.
+func Theorem6AdditionalSteps(x, alpha, side int) int {
+	b := 4 * (x - SnakeAF(alpha, side) - 1)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Corollary3Bound returns the Corollary 3 lower bound on the average number
+// of steps of the first snakelike algorithm on an even side×side mesh:
+// 4(E[Z₁(0)] − f(N/2, N) − 1).
+func Corollary3Bound(side int) *big.Rat {
+	n := side * side
+	f := SnakeAF(n/2, side)
+	return mul(ratInt(4), sub(EZ10SnakeAExact(side), ratInt(f+1)))
+}
+
+// Theorem7BoundHeadline returns the headline form of the Theorem 7 bound,
+// N/2 − √N/2 − 4, as a float (the exact bound is Corollary3Bound).
+func Theorem7BoundHeadline(nCells, side int) float64 {
+	return float64(nCells)/2 - float64(side)/2 - 4
+}
+
+// Theorem9AdditionalSteps returns the Theorem 9 lower bound on remaining
+// steps when Y₁(0) = x on a mesh with α zeroes: 4(x − ⌈α/2⌉ − 1), clamped
+// at 0.
+func Theorem9AdditionalSteps(x, alpha int) int {
+	b := 4 * (x - (alpha+1)/2 - 1)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Theorem10Bound returns the Theorem 9/10 lower bound on the average number
+// of steps of the second snakelike algorithm: 4(E[Y₁(0)] − N/4 − 1).
+func Theorem10Bound(side int) *big.Rat {
+	n := side * side
+	return mul(ratInt(4), sub(EY10SnakeBExact(side), add(rat(int64(n), 4), ratInt(1))))
+}
+
+// Theorem10BoundHeadline returns the headline form N/2 − √N/2 − 4.
+func Theorem10BoundHeadline(nCells, side int) float64 {
+	return float64(nCells)/2 - float64(side)/2 - 4
+}
+
+// AppendixF returns ⌈α(N−1)/(2N)⌉ of Theorem 13 (odd side lengths).
+func AppendixF(alpha, side int) int {
+	n := side * side
+	return CeilRat(rat(int64(alpha)*int64(n-1), 2*int64(n)))
+}
+
+// Theorem13AdditionalSteps returns the Theorem 13 lower bound on remaining
+// steps for odd sides: 4(x − ⌈α(N−1)/2N⌉ − 1), clamped at 0.
+func Theorem13AdditionalSteps(x, alpha, side int) int {
+	b := 4 * (x - AppendixF(alpha, side) - 1)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Corollary4Bound returns the appendix Corollary 4 lower bound on the
+// average number of steps for odd side lengths:
+// 4(E[Z₁(0)] − ⌈(N²−1)/(4N)⌉ − 1).
+func Corollary4Bound(side int) *big.Rat {
+	n := side * side
+	f := CeilRat(rat(int64(n)*int64(n)-1, 4*int64(n)))
+	return mul(ratInt(4), sub(EZ10SnakeAExact(side), ratInt(f+1)))
+}
+
+// Theorem12TailBound returns the Theorem 12 upper bound on the probability
+// that the third snakelike algorithm sorts in fewer than δN steps:
+// δ/2 + δ/(2N).
+func Theorem12TailBound(delta float64, nCells int) float64 {
+	return delta/2 + delta/(2*float64(nCells))
+}

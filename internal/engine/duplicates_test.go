@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestRunSortsDuplicateHeavyInputs(t *testing.T) {
+	src := rng.New(71)
+	for _, k := range []int{1, 2, 3, 7} {
+		for _, name := range sched.Names() {
+			s, err := sched.ByName(name, 6, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 5; trial++ {
+				g := workload.FewDistinct(src, 6, 6, k)
+				res, err := Run(g, s, Options{})
+				if err != nil {
+					t.Fatalf("%s k=%d: %v", name, k, err)
+				}
+				if !g.IsSorted(s.Order()) {
+					t.Fatalf("%s k=%d: not sorted after %d steps\n%v", name, k, res.Steps, g)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicatesSortQuickProperty(t *testing.T) {
+	s := sched.NewSnakeA(5, 5)
+	f := func(seed uint64, k8 uint8) bool {
+		k := int(k8%9) + 1
+		g := workload.FewDistinct(rng.New(seed), 5, 5, k)
+		_, err := Run(g, s, Options{})
+		return err == nil && g.IsSorted(s.Order())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyAlgorithmSortsAnyPermutationProperty(t *testing.T) {
+	// The headline invariant as a single quick property: a random
+	// algorithm on a random permutation always reaches target order.
+	f := func(seed uint64, algPick uint8) bool {
+		names := sched.Names()
+		s, err := sched.ByName(names[int(algPick)%len(names)], 6, 6)
+		if err != nil {
+			return false
+		}
+		g := workload.RandomPermutation(rng.New(seed), 6, 6)
+		res, runErr := Run(g, s, Options{})
+		return runErr == nil && res.Sorted && g.IsSorted(s.Order())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShearsortRoundBound(t *testing.T) {
+	// Shearsort completes within ⌈log₂R⌉+1 full rounds of (C row steps +
+	// R column steps) — the classical bound, with one extra round of
+	// slack for the odd-even realization.
+	src := rng.New(13)
+	for _, side := range []int{4, 8, 16, 32} {
+		s := sched.NewShearsort(side, side)
+		rounds := 1
+		for r := 1; r < side; r *= 2 {
+			rounds++
+		}
+		cap := (rounds + 1) * (side + side)
+		for trial := 0; trial < 10; trial++ {
+			g := workload.RandomPermutation(src, side, side)
+			res, err := Run(g, s, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Steps > cap {
+				t.Fatalf("side %d: shearsort took %d steps > bound %d", side, res.Steps, cap)
+			}
+		}
+	}
+}
+
+// FuzzSortZeroOne drives the engine with arbitrary 0-1 grids derived from
+// fuzz input bytes: whatever the bit pattern, the run must terminate sorted
+// within the default cap.
+func FuzzSortZeroOne(f *testing.F) {
+	f.Add(uint16(0x0000))
+	f.Add(uint16(0xffff))
+	f.Add(uint16(0xA5A5))
+	f.Add(uint16(0x00FF))
+	f.Fuzz(func(t *testing.T, mask uint16) {
+		vals := make([]int, 16)
+		for i := range vals {
+			vals[i] = int(mask>>i) & 1
+		}
+		for _, name := range []string{"rm-rf", "snake-a", "snake-b", "snake-c"} {
+			s, err := sched.ByName(name, 4, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := gridFromVals(vals)
+			if _, err := Run(g, s, Options{}); err != nil {
+				t.Fatalf("%s on %#x: %v", name, mask, err)
+			}
+			if !g.IsSorted(s.Order()) {
+				t.Fatalf("%s on %#x: not sorted", name, mask)
+			}
+		}
+	})
+}
+
+// FuzzSortSmallValues drives the engine with arbitrary small-valued grids
+// (duplicates and gaps included).
+func FuzzSortSmallValues(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte{9, 9, 9, 9, 0, 0, 0, 0, 5, 5, 5, 5, 200, 200, 1, 1})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 16 {
+			return
+		}
+		vals := make([]int, 16)
+		for i := range vals {
+			vals[i] = int(raw[i])
+		}
+		s := sched.NewSnakeB(4, 4)
+		g := gridFromVals(vals)
+		if _, err := Run(g, s, Options{}); err != nil {
+			t.Fatalf("snake-b on %v: %v", vals, err)
+		}
+		if !g.IsSorted(s.Order()) {
+			t.Fatalf("snake-b on %v: not sorted", vals)
+		}
+	})
+}
+
+func gridFromVals(vals []int) *grid.Grid {
+	return grid.FromValues(4, 4, vals)
+}

@@ -1,0 +1,246 @@
+// Package engine executes comparator schedules on a mesh, step by
+// synchronous step, until the grid reaches its target order.
+//
+// Two executors are provided. The sequential executor applies the
+// comparators of each step in a plain loop. The parallel executor spreads
+// each step's comparators over a persistent pool of worker goroutines —
+// safe because the comparators of one step are pairwise disjoint (a
+// property of every schedule in internal/sched, enforced by tests) — and
+// folds the per-worker swap counts and tracker deltas at the step barrier.
+// Both executors produce bit-identical grids and counters.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// Options configures a run.
+type Options struct {
+	// Workers selects the parallel executor when > 1; 0 or 1 runs
+	// sequentially.
+	Workers int
+	// MaxSteps caps the run; 0 uses DefaultMaxSteps of the mesh. Hitting
+	// the cap without sorting returns ErrStepLimit in Result.Err.
+	MaxSteps int
+	// Observer, if non-nil, is called after every step with the 1-indexed
+	// step number and the grid. The grid must not be modified.
+	Observer func(t int, g *grid.Grid)
+	// Tracker overrides the automatically chosen completion tracker.
+	Tracker grid.Tracker
+}
+
+// Result reports what a run did.
+type Result struct {
+	// Steps is the number of steps after which the grid first matched the
+	// target order (0 for an initially sorted input).
+	Steps int
+	// Swaps is the total number of exchanges performed.
+	Swaps int64
+	// Comparisons is the total number of comparator evaluations.
+	Comparisons int64
+	// Sorted reports whether the grid reached target order within the cap.
+	Sorted bool
+}
+
+// ErrStepLimit is returned when a run exhausts MaxSteps without sorting.
+type ErrStepLimit struct {
+	Algorithm string
+	MaxSteps  int
+	Misplaced int
+}
+
+func (e *ErrStepLimit) Error() string {
+	return fmt.Sprintf("engine: %s did not sort within %d steps (%d cells misplaced)",
+		e.Algorithm, e.MaxSteps, e.Misplaced)
+}
+
+// DefaultMaxSteps returns a generous cap for an R×C mesh: every algorithm
+// in the paper finishes in Θ(N) steps with a small constant, and shearsort
+// in Θ((R+C)·log R).
+func DefaultMaxSteps(rows, cols int) int {
+	n := rows * cols
+	return 6*n + 16*(rows+cols) + 64
+}
+
+// Run executes schedule s on g (in place) until g reaches s.Order() or the
+// step cap is hit.
+func Run(g *grid.Grid, s sched.Schedule, opts Options) (Result, error) {
+	r, c := s.Dims()
+	if g.Rows() != r || g.Cols() != c {
+		return Result{}, fmt.Errorf("engine: grid is %dx%d but schedule %s was built for %dx%d",
+			g.Rows(), g.Cols(), s.Name(), r, c)
+	}
+	tr := opts.Tracker
+	if tr == nil {
+		tr = grid.NewTracker(g, s.Order())
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps(r, c)
+	}
+
+	var res Result
+	if tr.Sorted() && opts.Observer == nil {
+		res.Sorted = true
+		return res, nil
+	}
+
+	var pool *workerPool
+	if opts.Workers > 1 {
+		pool = newWorkerPool(opts.Workers)
+		defer pool.close()
+	}
+
+	sortedAt := -1
+	if tr.Sorted() {
+		// Already sorted, but an observer is attached (the no-observer
+		// case returned above): run one period so instrumentation sees a
+		// full cycle, bounded by the configured cap.
+		sortedAt = 0
+		if s.Period() < maxSteps {
+			maxSteps = s.Period()
+		}
+	}
+	for t := 1; t <= maxSteps; t++ {
+		comps := s.Step(t)
+		var swaps int
+		var delta int
+		if pool != nil {
+			swaps, delta = pool.runStep(g, comps, tr)
+		} else {
+			swaps, delta = runStepSeq(g, comps, tr)
+		}
+		tr.Apply(delta)
+		res.Swaps += int64(swaps)
+		res.Comparisons += int64(len(comps))
+		if opts.Observer != nil {
+			opts.Observer(t, g)
+		}
+		if sortedAt < 0 && tr.Sorted() {
+			sortedAt = t
+			if opts.Observer == nil {
+				break
+			}
+			// With an observer attached, keep running to the end of the
+			// current period so instrumentation sees complete cycles, then
+			// stop — without ever exceeding the configured cap.
+			rem := (s.Period() - t%s.Period()) % s.Period()
+			if t+rem < maxSteps {
+				maxSteps = t + rem
+			}
+		}
+	}
+	if sortedAt >= 0 {
+		res.Steps = sortedAt
+		res.Sorted = true
+		return res, nil
+	}
+	return res, &ErrStepLimit{Algorithm: s.Name(), MaxSteps: maxSteps, Misplaced: tr.Misplaced()}
+}
+
+// ApplyStep applies one step's comparators to g in place (sequentially)
+// and returns the number of exchanges performed. It is the single-step
+// building block used by the instrumentation and lemma-checking code.
+func ApplyStep(g *grid.Grid, comps []sched.Comparator) (swaps int) {
+	for _, cmp := range comps {
+		lo, hi := int(cmp.Lo), int(cmp.Hi)
+		if g.AtFlat(lo) > g.AtFlat(hi) {
+			g.SwapFlat(lo, hi)
+			swaps++
+		}
+	}
+	return swaps
+}
+
+// runStepSeq applies one step's comparators sequentially, returning the
+// number of swaps and the accumulated tracker delta.
+func runStepSeq(g *grid.Grid, comps []sched.Comparator, tr grid.Tracker) (swaps, delta int) {
+	for _, cmp := range comps {
+		lo, hi := int(cmp.Lo), int(cmp.Hi)
+		if g.AtFlat(lo) > g.AtFlat(hi) {
+			g.SwapFlat(lo, hi)
+			swaps++
+			delta += tr.Delta(g, lo, hi)
+		}
+	}
+	return swaps, delta
+}
+
+// workerPool runs step chunks on persistent goroutines. One job per step:
+// the comparator slice is split into near-equal chunks, each worker applies
+// its chunk and reports (swaps, delta); runStep waits on the barrier and
+// folds the partial sums.
+type workerPool struct {
+	workers int
+	start   []chan stepJob
+	done    chan stepOut
+	wg      sync.WaitGroup
+}
+
+type stepJob struct {
+	g     *grid.Grid
+	comps []sched.Comparator
+	tr    grid.Tracker
+}
+
+type stepOut struct {
+	swaps, delta int
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		start:   make([]chan stepJob, workers),
+		done:    make(chan stepOut, workers),
+	}
+	for i := range p.start {
+		p.start[i] = make(chan stepJob, 1)
+		p.wg.Add(1)
+		go p.worker(p.start[i])
+	}
+	return p
+}
+
+func (p *workerPool) worker(jobs <-chan stepJob) {
+	defer p.wg.Done()
+	for job := range jobs {
+		s, d := runStepSeq(job.g, job.comps, job.tr)
+		p.done <- stepOut{s, d}
+	}
+}
+
+// runStep applies one step in parallel and returns the folded counters.
+func (p *workerPool) runStep(g *grid.Grid, comps []sched.Comparator, tr grid.Tracker) (swaps, delta int) {
+	n := len(comps)
+	chunk := (n + p.workers - 1) / p.workers
+	active := 0
+	for i := 0; i < p.workers; i++ {
+		lo := i * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		p.start[i] <- stepJob{g: g, comps: comps[lo:hi], tr: tr}
+		active++
+	}
+	for i := 0; i < active; i++ {
+		out := <-p.done
+		swaps += out.swaps
+		delta += out.delta
+	}
+	return swaps, delta
+}
+
+func (p *workerPool) close() {
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.wg.Wait()
+}

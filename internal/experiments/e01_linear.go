@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"repro/internal/oet"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E01",
+		Title: "1-D odd-even transposition sort",
+		Claim: "§1: sorts any input in ≤ N steps; average ≥ (N−1)/2 and N − O(√N) ≤ E[steps] ≤ N",
+		Run:   runE01,
+	})
+}
+
+func runE01(cfg Config) (*Outcome, error) {
+	o := newOutcome("E01", "1-D odd-even transposition sort")
+	sizes := pickInts(cfg, []int{64, 128, 256, 512, 1024}, []int{32, 64})
+	trials := pickInt(cfg, 300, 40)
+
+	t := report.NewTable("steps to sort a random permutation on an N-cell linear array",
+		"N", "mean", "ci95", "mean/N", "(N−mean)/√N", "lower (N−1)/2", "worst input", "max seen")
+	for _, n := range sizes {
+		src := rng.NewStream(cfg.seed(), uint64(n))
+		samples := make([]int, trials)
+		maxSeen := 0
+		a := make([]int, n)
+		for i := range samples {
+			rng.Perm(src, a)
+			s := oet.Sort(a, oet.Forward)
+			samples[i] = s
+			if s > maxSeen {
+				maxSeen = s
+			}
+			o.check(s <= n, "N=%d: %d steps exceeds the N-step bound", n, s)
+		}
+		sum := stats.SummarizeInts(samples)
+		worst := oet.StepsToSort(oet.WorstCaseInput(n), oet.Forward)
+		sqrtN := float64(0)
+		for f := 1.0; f*f <= float64(n); f++ {
+			sqrtN = f
+		}
+		t.AddRow(n, sum.Mean, sum.CI95(), sum.Mean/float64(n),
+			(float64(n)-sum.Mean)/sqrtN, oet.SmallestDistanceLowerBound(n), worst, maxSeen)
+
+		o.check(sum.Mean >= oet.SmallestDistanceLowerBound(n),
+			"N=%d: mean %v below the (N−1)/2 lower bound", n, sum.Mean)
+		o.check(sum.Mean <= float64(n), "N=%d: mean %v above N", n, sum.Mean)
+		// N − mean should be Θ(√N): between 0.2√N and 4√N in practice.
+		gap := (float64(n) - sum.Mean) / sqrtN
+		o.check(gap > 0.2 && gap < 4, "N=%d: (N−mean)/√N = %v outside [0.2, 4]", n, gap)
+		o.check(worst >= n-1, "N=%d: worst-case input took only %d steps", n, worst)
+	}
+	o.Tables = append(o.Tables, t)
+	return o, nil
+}

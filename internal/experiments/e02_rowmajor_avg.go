@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E02",
+		Title: "Average case of the row-first row-major algorithm",
+		Claim: "Theorem 2: E[steps] ≥ N/2 − 2√N; Θ(N) on average",
+		Run: func(cfg Config) (*Outcome, error) {
+			return runRowMajorAverage(cfg, "E02", core.RowMajorRowFirst,
+				func(n, cells, side int) (float64, float64) {
+					return analysis.Float(analysis.Theorem2BoundExact(n)),
+						analysis.Theorem2BoundHeadline(cells, side)
+				})
+		},
+	})
+	register(Experiment{
+		ID:    "E03",
+		Title: "Average case of the column-first row-major algorithm",
+		Claim: "Theorem 4: E[steps] ≥ 3N/8 − 2√N; Θ(N) on average",
+		Run: func(cfg Config) (*Outcome, error) {
+			return runRowMajorAverage(cfg, "E03", core.RowMajorColFirst,
+				func(n, cells, side int) (float64, float64) {
+					return analysis.Float(analysis.Theorem4BoundExact(n)),
+						analysis.Theorem4BoundHeadline(cells, side)
+				})
+		},
+	})
+}
+
+// runRowMajorAverage measures mean sorting steps for a row-major algorithm
+// and compares against its theorem bound (exact and headline forms).
+func runRowMajorAverage(cfg Config, id string, alg core.Algorithm,
+	bound func(n, cells, side int) (exact, headline float64)) (*Outcome, error) {
+
+	o := newOutcome(id, alg.String())
+	sides := pickInts(cfg, []int{8, 12, 16, 24, 32}, []int{8, 12})
+	trials := pickInt(cfg, 150, 25)
+
+	t := report.NewTable("steps to sort a random permutation ("+alg.ShortName()+")",
+		"side", "N", "mean", "ci95", "bound (exact)", "bound (headline)", "mean/N", "mean≥bound")
+	var ratios []float64
+	for _, side := range sides {
+		cells := side * side
+		samples, err := measureSteps(cfg, alg, side, trials)
+		if err != nil {
+			return nil, err
+		}
+		sum := stats.SummarizeInts(samples)
+		exact, headline := bound(side/2, cells, side)
+		ok := sum.Mean >= exact-sum.CI95()
+		t.AddRow(side, cells, sum.Mean, sum.CI95(), exact, headline, sum.Mean/float64(cells), ok)
+		o.check(ok, "side %d: mean %v below theorem bound %v", side, sum.Mean, exact)
+		ratios = append(ratios, sum.Mean/float64(cells))
+	}
+	// Θ(N): the mean/N ratio must stay bounded away from 0 and ∞ across
+	// sizes (no drift to 0 as for an o(N) algorithm).
+	first, last := ratios[0], ratios[len(ratios)-1]
+	o.check(last > 0.25*first && last < 4*first,
+		"mean/N drifted from %v to %v — not Θ(N)", first, last)
+	o.Tables = append(o.Tables, t)
+	return o, nil
+}

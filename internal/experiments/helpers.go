@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// pick returns quick when cfg.Quick is set, full otherwise.
+func pickInts(cfg Config, full, quick []int) []int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+func pickInt(cfg Config, full, quick int) int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+// measureSteps runs algorithm a on `trials` random permutations of a
+// side×side mesh and returns the per-trial step counts. Trials execute
+// concurrently across GOMAXPROCS goroutines; each trial derives its own
+// PCG stream from (seed, side, algorithm, trial index), so the sample is
+// identical regardless of scheduling or worker count.
+func measureSteps(cfg Config, a core.Algorithm, side, trials int) ([]int, error) {
+	out := make([]int, trials)
+	errs := make([]error, trials)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= trials {
+					return
+				}
+				src := rng.NewStream(cfg.seed(), uint64(side)<<20|uint64(a)<<16|uint64(i))
+				g := workload.RandomPermutation(src, side, side)
+				res, err := core.Sort(g, a, core.Options{})
+				if err != nil {
+					errs[i] = fmt.Errorf("%s side %d trial %d: %w", a.ShortName(), side, i, err)
+					return
+				}
+				out[i] = res.Steps
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// meanWithin reports whether the sample mean is within k standard errors
+// of want (with a small absolute floor to tolerate tiny samples).
+func meanWithin(s stats.Summary, want float64, k float64) bool {
+	se := s.StdDev / math.Sqrt(float64(s.N))
+	tol := k*se + 1e-9
+	if tol < 0.05 {
+		tol = 0.05
+	}
+	return math.Abs(s.Mean-want) <= tol
+}
+
+// sqrtLog returns √N·log₂(√N), the shearsort scaling term.
+func sqrtLog(side int) float64 {
+	return float64(side) * math.Log2(float64(side))
+}

@@ -1,0 +1,397 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewDimensions(t *testing.T) {
+	g := New(3, 5)
+	if g.Rows() != 3 || g.Cols() != 5 || g.Len() != 15 {
+		t.Fatalf("got %dx%d len %d", g.Rows(), g.Cols(), g.Len())
+	}
+	for i := 0; i < g.Len(); i++ {
+		if g.AtFlat(i) != 0 {
+			t.Fatalf("cell %d not zero", i)
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestAtSetFlatRoundTrip(t *testing.T) {
+	g := New(4, 6)
+	k := 0
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 6; c++ {
+			g.Set(r, c, k)
+			k++
+		}
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 6; c++ {
+			if got := g.At(r, c); got != g.Flat(r, c) {
+				t.Fatalf("At(%d,%d)=%d want %d", r, c, got, g.Flat(r, c))
+			}
+			rr, cc := g.Cell(g.Flat(r, c))
+			if rr != r || cc != c {
+				t.Fatalf("Cell(Flat(%d,%d)) = (%d,%d)", r, c, rr, cc)
+			}
+		}
+	}
+}
+
+func TestFromRowsAndEqual(t *testing.T) {
+	g := FromRows([][]int{{1, 2}, {3, 4}})
+	h := FromValues(2, 2, []int{1, 2, 3, 4})
+	if !g.Equal(h) {
+		t.Fatal("FromRows and FromValues disagree")
+	}
+	h.Set(1, 1, 9)
+	if g.Equal(h) {
+		t.Fatal("Equal missed a difference")
+	}
+	if g.Equal(New(2, 3)) {
+		t.Fatal("Equal ignored dimensions")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := FromRows([][]int{{1, 2}, {3, 4}})
+	h := g.Clone()
+	h.Set(0, 0, 42)
+	if g.At(0, 0) != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestRankCellRowMajor(t *testing.T) {
+	g := New(3, 4)
+	// Rank m lives at (m/4, m%4).
+	for m := 0; m < 12; m++ {
+		r, c := g.RankCell(RowMajor, m)
+		if r != m/4 || c != m%4 {
+			t.Fatalf("rank %d -> (%d,%d)", m, r, c)
+		}
+		if got := g.CellRank(RowMajor, r, c); got != m {
+			t.Fatalf("CellRank inverse failed at m=%d: got %d", m, got)
+		}
+	}
+}
+
+func TestRankCellSnake(t *testing.T) {
+	g := New(3, 3)
+	// Snake on 3x3: ranks
+	// 0 1 2
+	// 5 4 3
+	// 6 7 8
+	want := [][2]int{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 2}, {1, 1}, {1, 0},
+		{2, 0}, {2, 1}, {2, 2},
+	}
+	for m, w := range want {
+		r, c := g.RankCell(Snake, m)
+		if r != w[0] || c != w[1] {
+			t.Fatalf("snake rank %d -> (%d,%d), want (%d,%d)", m, r, c, w[0], w[1])
+		}
+		if got := g.CellRank(Snake, r, c); got != m {
+			t.Fatalf("snake CellRank inverse failed at m=%d: got %d", m, got)
+		}
+	}
+}
+
+func TestRankCellInverseProperty(t *testing.T) {
+	f := func(rows8, cols8 uint8, m16 uint16, snake bool) bool {
+		rows := int(rows8%20) + 1
+		cols := int(cols8%20) + 1
+		g := New(rows, cols)
+		m := int(m16) % g.Len()
+		o := RowMajor
+		if snake {
+			o = Snake
+		}
+		r, c := g.RankCell(o, m)
+		return r >= 0 && r < rows && c >= 0 && c < cols && g.CellRank(o, r, c) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSortedAndSorted(t *testing.T) {
+	g := FromRows([][]int{{1, 2, 3}, {6, 5, 4}, {7, 8, 9}})
+	if g.IsSorted(RowMajor) {
+		t.Fatal("snake-ordered grid claimed row-major sorted")
+	}
+	if !g.IsSorted(Snake) {
+		t.Fatal("snake-ordered grid not recognized")
+	}
+	rm := g.Sorted(RowMajor)
+	if !rm.IsSorted(RowMajor) {
+		t.Fatal("Sorted(RowMajor) not row-major sorted")
+	}
+	sn := g.Sorted(Snake)
+	if !sn.Equal(g) {
+		t.Fatalf("Sorted(Snake) changed an already snake-sorted grid:\n%v", sn)
+	}
+}
+
+func TestReadOrder(t *testing.T) {
+	g := FromRows([][]int{{1, 2}, {4, 3}})
+	got := g.ReadOrder(Snake)
+	want := []int{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ReadOrder(Snake) = %v", got)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	g := FromRows([][]int{{1, 4}, {3, 2}})
+	z := g.Threshold(2)
+	want := FromRows([][]int{{0, 1}, {1, 0}})
+	if !z.Equal(want) {
+		t.Fatalf("Threshold(2) =\n%v", z)
+	}
+	if z.CountValue(0) != 2 || z.CountValue(1) != 2 {
+		t.Fatal("CountValue wrong")
+	}
+}
+
+func TestFindValue(t *testing.T) {
+	g := FromRows([][]int{{5, 6}, {7, 8}})
+	r, c, ok := g.FindValue(7)
+	if !ok || r != 1 || c != 0 {
+		t.Fatalf("FindValue(7) = (%d,%d,%v)", r, c, ok)
+	}
+	if _, _, ok := g.FindValue(99); ok {
+		t.Fatal("FindValue found a missing value")
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	g := FromRows([][]int{{0, 1}, {0, 0}, {1, 1}})
+	if got := g.ColumnZeroCount(0); got != 2 {
+		t.Fatalf("ColumnZeroCount(0) = %d", got)
+	}
+	if got := g.ColumnWeight(1); got != 2 {
+		t.Fatalf("ColumnWeight(1) = %d", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	g := FromRows([][]int{{1, 10}, {100, 2}})
+	want := "  1  10\n100   2\n"
+	if got := g.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	z := FromRows([][]int{{0, 1}, {1, 0}})
+	if got := z.CompactZeroOne(); got != ".#\n#.\n" {
+		t.Fatalf("CompactZeroOne() = %q", got)
+	}
+}
+
+func randomPermGrid(t *testing.T, seed uint64, rows, cols int) *Grid {
+	t.Helper()
+	vals := make([]int, rows*cols)
+	rng.Perm(rng.New(seed), vals)
+	return FromValues(rows, cols, vals)
+}
+
+func TestDistinctTrackerInitialCount(t *testing.T) {
+	g := FromRows([][]int{{1, 2}, {3, 4}})
+	tr := NewDistinctTracker(g, RowMajor)
+	if !tr.Sorted() || tr.Misplaced() != 0 {
+		t.Fatalf("sorted grid tracked as misplaced=%d", tr.Misplaced())
+	}
+	g2 := FromRows([][]int{{2, 1}, {3, 4}})
+	tr2 := NewDistinctTracker(g2, RowMajor)
+	if tr2.Sorted() || tr2.Misplaced() != 2 {
+		t.Fatalf("misplaced = %d, want 2", tr2.Misplaced())
+	}
+}
+
+func TestDistinctTrackerDeltaMatchesRescan(t *testing.T) {
+	// Apply random swaps; tracker count must always equal a full recount.
+	for _, o := range []Order{RowMajor, Snake} {
+		g := randomPermGrid(t, 42, 5, 7)
+		tr := NewDistinctTracker(g, o)
+		src := rng.New(7)
+		recount := func() int {
+			n := 0
+			for i := 0; i < g.Len(); i++ {
+				if g.RankFlat(o, g.AtFlat(i)-1) != i {
+					n++
+				}
+			}
+			return n
+		}
+		for k := 0; k < 500; k++ {
+			i := rng.Intn(src, g.Len())
+			j := rng.Intn(src, g.Len())
+			if i == j {
+				continue
+			}
+			g.SwapFlat(i, j)
+			tr.Apply(tr.Delta(g, i, j))
+			if tr.Misplaced() != recount() {
+				t.Fatalf("order %v swap %d: tracker=%d recount=%d", o, k, tr.Misplaced(), recount())
+			}
+			if tr.Sorted() != g.IsSorted(o) && tr.Sorted() {
+				t.Fatalf("tracker claims sorted but grid is not")
+			}
+		}
+	}
+}
+
+func TestDistinctTrackerSortedAgreement(t *testing.T) {
+	// Drive a random grid to its target by greedy swaps; Sorted must flip
+	// exactly when the grid reaches target order.
+	g := randomPermGrid(t, 9, 4, 4)
+	o := Snake
+	tr := NewDistinctTracker(g, o)
+	for m := 0; m < g.Len(); m++ {
+		want := m + 1
+		i := g.RankFlat(o, m)
+		if g.AtFlat(i) == want {
+			continue
+		}
+		// find want and swap it home
+		var j int
+		for j = 0; j < g.Len(); j++ {
+			if g.AtFlat(j) == want {
+				break
+			}
+		}
+		g.SwapFlat(i, j)
+		tr.Apply(tr.Delta(g, i, j))
+	}
+	if !tr.Sorted() || !g.IsSorted(o) {
+		t.Fatalf("greedy sort failed: tracker=%d", tr.Misplaced())
+	}
+}
+
+func TestDistinctTrackerPanicsOnDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate values")
+		}
+	}()
+	NewDistinctTracker(FromRows([][]int{{1, 1}, {2, 3}}), RowMajor)
+}
+
+func TestZeroOneTrackerBasics(t *testing.T) {
+	g := FromRows([][]int{{0, 0}, {1, 1}})
+	tr := NewZeroOneTracker(g, RowMajor)
+	if !tr.Sorted() {
+		t.Fatalf("sorted 0-1 grid tracked as misplaced=%d", tr.Misplaced())
+	}
+	g2 := FromRows([][]int{{1, 0}, {0, 1}})
+	tr2 := NewZeroOneTracker(g2, RowMajor)
+	if tr2.Sorted() || tr2.Misplaced() != 1 {
+		t.Fatalf("misplaced = %d, want 1", tr2.Misplaced())
+	}
+}
+
+func TestZeroOneTrackerSnakeRegion(t *testing.T) {
+	// 3 zeroes on a 2x2 snake: zero region is ranks 0,1,2 = cells
+	// (0,0),(0,1),(1,1); the single 1 belongs at rank 3 = cell (1,0).
+	g := FromRows([][]int{{0, 1}, {0, 0}})
+	tr := NewZeroOneTracker(g, Snake)
+	if tr.Sorted() {
+		t.Fatal("grid with 1 at rank 1 claimed sorted")
+	}
+	g.SwapFlat(g.Flat(0, 1), g.Flat(1, 0))
+	tr.Apply(tr.Delta(g, g.Flat(0, 1), g.Flat(1, 0)))
+	if !tr.Sorted() {
+		t.Fatalf("after fixing swap, misplaced=%d", tr.Misplaced())
+	}
+}
+
+func TestZeroOneTrackerDeltaMatchesRescan(t *testing.T) {
+	for _, o := range []Order{RowMajor, Snake} {
+		src := rng.New(21)
+		vals := make([]int, 6*6)
+		for i := range vals {
+			vals[i] = rng.Intn(src, 2)
+		}
+		g := FromValues(6, 6, vals)
+		tr := NewZeroOneTracker(g, o)
+		alpha := g.CountValue(0)
+		recount := func() int {
+			n := 0
+			for m := 0; m < alpha; m++ {
+				if g.AtFlat(g.RankFlat(o, m)) == 1 {
+					n++
+				}
+			}
+			return n
+		}
+		for k := 0; k < 500; k++ {
+			i := rng.Intn(src, g.Len())
+			j := rng.Intn(src, g.Len())
+			if i == j {
+				continue
+			}
+			g.SwapFlat(i, j)
+			tr.Apply(tr.Delta(g, i, j))
+			if tr.Misplaced() != recount() {
+				t.Fatalf("order %v swap %d: tracker=%d recount=%d", o, k, tr.Misplaced(), recount())
+			}
+		}
+	}
+}
+
+func TestZeroOneTrackerPanicsOnOtherValues(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-0-1 grid")
+		}
+	}()
+	NewZeroOneTracker(FromRows([][]int{{0, 2}}), RowMajor)
+}
+
+func TestNewTrackerDispatch(t *testing.T) {
+	if _, ok := NewTracker(FromRows([][]int{{0, 1}, {1, 0}}), RowMajor).(*ZeroOneTracker); !ok {
+		t.Fatal("0-1 grid did not get a ZeroOneTracker")
+	}
+	if _, ok := NewTracker(FromRows([][]int{{1, 2}, {3, 4}}), RowMajor).(*DistinctTracker); !ok {
+		t.Fatal("permutation grid did not get a DistinctTracker")
+	}
+}
+
+func TestZeroOneSortedMeansMonotone(t *testing.T) {
+	// Property: tracker says sorted <=> IsSorted for 0-1 grids.
+	f := func(seed uint64, snake bool) bool {
+		src := rng.New(seed)
+		vals := make([]int, 4*4)
+		for i := range vals {
+			vals[i] = rng.Intn(src, 2)
+		}
+		g := FromValues(4, 4, vals)
+		o := RowMajor
+		if snake {
+			o = Snake
+		}
+		tr := NewZeroOneTracker(g, o)
+		return tr.Sorted() == g.IsSorted(o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

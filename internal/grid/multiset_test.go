@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMultisetTrackerSortedDetection(t *testing.T) {
+	g := FromRows([][]int{{1, 1}, {2, 3}})
+	tr := NewMultisetTracker(g, RowMajor)
+	if !tr.Sorted() {
+		t.Fatalf("sorted multiset grid tracked as misplaced=%d", tr.Misplaced())
+	}
+	g2 := FromRows([][]int{{3, 1}, {2, 1}})
+	tr2 := NewMultisetTracker(g2, RowMajor)
+	if tr2.Sorted() {
+		t.Fatal("unsorted grid claimed sorted")
+	}
+}
+
+func TestMultisetTrackerDuplicatesInterchangeable(t *testing.T) {
+	// Two equal values swapped between their home cells: still sorted.
+	g := FromRows([][]int{{5, 5}, {7, 9}})
+	tr := NewMultisetTracker(g, RowMajor)
+	if !tr.Sorted() {
+		t.Fatal("duplicate home cells not interchangeable")
+	}
+	g.SwapFlat(0, 1)
+	tr.Apply(tr.Delta(g, 0, 1))
+	if !tr.Sorted() {
+		t.Fatal("swapping equal values broke sortedness")
+	}
+}
+
+func TestMultisetTrackerDeltaMatchesRescan(t *testing.T) {
+	src := rng.New(77)
+	for _, o := range []Order{RowMajor, Snake} {
+		vals := make([]int, 30)
+		for i := range vals {
+			vals[i] = rng.Intn(src, 7) // heavy duplication
+		}
+		g := FromValues(5, 6, vals)
+		tr := NewMultisetTracker(g, o)
+		recount := func() int {
+			n := 0
+			probe := NewMultisetTracker(g, o)
+			n = probe.Misplaced()
+			return n
+		}
+		for k := 0; k < 400; k++ {
+			i := rng.Intn(src, g.Len())
+			j := rng.Intn(src, g.Len())
+			if i == j {
+				continue
+			}
+			g.SwapFlat(i, j)
+			tr.Apply(tr.Delta(g, i, j))
+			if tr.Misplaced() != recount() {
+				t.Fatalf("order %v swap %d: tracker=%d recount=%d", o, k, tr.Misplaced(), recount())
+			}
+			if tr.Sorted() != g.IsSorted(o) {
+				t.Fatalf("order %v: Sorted()=%v but IsSorted=%v", o, tr.Sorted(), g.IsSorted(o))
+			}
+		}
+	}
+}
+
+func TestMultisetSortedEquivalenceProperty(t *testing.T) {
+	// Zero misplacement <=> monotone in rank order, for arbitrary values.
+	f := func(seed uint64, snake bool) bool {
+		src := rng.New(seed)
+		vals := make([]int, 16)
+		for i := range vals {
+			vals[i] = rng.Intn(src, 5)
+		}
+		g := FromValues(4, 4, vals)
+		o := RowMajor
+		if snake {
+			o = Snake
+		}
+		return NewMultisetTracker(g, o).Sorted() == g.IsSorted(o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTrackerDispatchMultiset(t *testing.T) {
+	// Duplicates (not 0-1) must get the multiset tracker.
+	if _, ok := NewTracker(FromRows([][]int{{2, 2}, {3, 4}}), RowMajor).(*MultisetTracker); !ok {
+		t.Fatal("duplicated grid did not get a MultisetTracker")
+	}
+	// Non-contiguous distinct values too (DistinctTracker needs a
+	// contiguous range).
+	if _, ok := NewTracker(FromRows([][]int{{10, 20}, {30, 40}}), RowMajor).(*MultisetTracker); !ok {
+		t.Fatal("gapped grid did not get a MultisetTracker")
+	}
+	// Contiguous permutations still get the distinct tracker.
+	if _, ok := NewTracker(FromRows([][]int{{4, 2}, {3, 5}}), RowMajor).(*DistinctTracker); !ok {
+		t.Fatal("contiguous permutation did not get a DistinctTracker")
+	}
+}

@@ -1,0 +1,46 @@
+package grid
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the grid as aligned rows of numbers, suitable for debug
+// output and the example programs.
+func (g *Grid) String() string {
+	width := 1
+	for _, v := range g.cells {
+		if w := len(fmt.Sprint(v)); w > width {
+			width = w
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			if c > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%*d", width, g.At(r, c))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CompactZeroOne renders a 0-1 grid as rows of '.' (zero) and '#' (one),
+// which makes the travelling zero-sets of the paper's lemmas visible at a
+// glance.
+func (g *Grid) CompactZeroOne() string {
+	var b strings.Builder
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			if g.At(r, c) == 0 {
+				b.WriteByte('.')
+			} else {
+				b.WriteByte('#')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,265 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// A Tracker detects completion — "the grid is now exactly in target
+// order" — in O(1) work per swap, so the step loop never needs a full-grid
+// rescan.
+//
+// Protocol: the engine calls Delta(g, i, j) immediately *after* swapping
+// flat cells i and j; Delta is a pure function of the tracker's read-only
+// tables and the grid, so it is safe to call concurrently from the workers
+// of one step (the cells touched by distinct comparators of a step are
+// disjoint). The per-worker sums are folded with Apply once the step's
+// barrier is reached. Sorted reports whether the grid currently matches the
+// target order.
+type Tracker interface {
+	// Delta returns the change in the misplacement measure caused by the
+	// swap of flat cells i and j that has just been performed on g.
+	Delta(g *Grid, i, j int) int
+	// Apply folds an accumulated delta into the tracker state.
+	Apply(delta int)
+	// Sorted reports whether the grid is in target order.
+	Sorted() bool
+	// Misplaced returns the current misplacement measure (0 iff sorted).
+	Misplaced() int
+}
+
+// DistinctTracker tracks grids whose values are all distinct (random
+// permutations). The measure is the number of cells whose value is not at
+// its unique home cell.
+type DistinctTracker struct {
+	home      []int // home[v-min] = flat index where value v belongs
+	min       int
+	misplaced int
+}
+
+// NewDistinctTracker builds a tracker for g under target order o. It panics
+// if the grid contains duplicate values.
+func NewDistinctTracker(g *Grid, o Order) *DistinctTracker {
+	vals := g.Values()
+	min, max := vals[0], vals[0]
+	for _, v := range vals {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max-min+1 != len(vals) {
+		panic(fmt.Sprintf("grid: DistinctTracker needs a permutation of a contiguous range, got span [%d,%d] for %d cells", min, max, len(vals)))
+	}
+	t := &DistinctTracker{home: make([]int, len(vals)), min: min}
+	seen := make([]bool, len(vals))
+	for _, v := range vals {
+		if seen[v-min] {
+			panic(fmt.Sprintf("grid: DistinctTracker got duplicate value %d", v))
+		}
+		seen[v-min] = true
+	}
+	// The value of rank m (0-indexed) is min+m; its home is RankFlat(o, m).
+	for m := 0; m < len(vals); m++ {
+		t.home[m] = g.RankFlat(o, m)
+	}
+	// Initial misplacement count.
+	for i, v := range g.cells {
+		if t.home[v-min] != i {
+			t.misplaced++
+		}
+	}
+	return t
+}
+
+// Delta implements Tracker. Cells i and j have just been swapped.
+func (t *DistinctTracker) Delta(g *Grid, i, j int) int {
+	vi := g.cells[i] // value now at i (was at j before the swap)
+	vj := g.cells[j]
+	d := 0
+	// Before the swap, i held vj and j held vi.
+	if t.home[vj-t.min] != i {
+		d--
+	}
+	if t.home[vi-t.min] != j {
+		d--
+	}
+	if t.home[vi-t.min] != i {
+		d++
+	}
+	if t.home[vj-t.min] != j {
+		d++
+	}
+	return d
+}
+
+// Apply implements Tracker.
+func (t *DistinctTracker) Apply(delta int) { t.misplaced += delta }
+
+// Sorted implements Tracker.
+func (t *DistinctTracker) Sorted() bool { return t.misplaced == 0 }
+
+// Misplaced implements Tracker.
+func (t *DistinctTracker) Misplaced() int { return t.misplaced }
+
+// ZeroOneTracker tracks 0-1 grids (the paper's A^01 matrices). A 0-1 grid
+// is in target order iff no 1 occupies any of the first α rank positions,
+// where α is the number of zeroes; the measure is the number of 1s inside
+// that zero region.
+type ZeroOneTracker struct {
+	inZeroRegion []bool // indexed by flat cell index
+	onesInRegion int
+}
+
+// NewZeroOneTracker builds a tracker for the 0-1 grid g under order o. It
+// panics if g contains values other than 0 and 1.
+func NewZeroOneTracker(g *Grid, o Order) *ZeroOneTracker {
+	alpha := 0
+	for _, v := range g.cells {
+		switch v {
+		case 0:
+			alpha++
+		case 1:
+		default:
+			panic(fmt.Sprintf("grid: ZeroOneTracker got non-0-1 value %d", v))
+		}
+	}
+	t := &ZeroOneTracker{inZeroRegion: make([]bool, g.Len())}
+	for m := 0; m < alpha; m++ {
+		t.inZeroRegion[g.RankFlat(o, m)] = true
+	}
+	for i, v := range g.cells {
+		if v == 1 && t.inZeroRegion[i] {
+			t.onesInRegion++
+		}
+	}
+	return t
+}
+
+// Delta implements Tracker. Cells i and j have just been swapped.
+func (t *ZeroOneTracker) Delta(g *Grid, i, j int) int {
+	// Only swaps of unequal values between region and non-region cells
+	// change the measure.
+	vi := g.cells[i]
+	vj := g.cells[j]
+	if vi == vj || t.inZeroRegion[i] == t.inZeroRegion[j] {
+		return 0
+	}
+	// Exactly one of the two cells is in the zero region; the 1 either
+	// moved into it or out of it.
+	var oneAtRegion bool
+	if t.inZeroRegion[i] {
+		oneAtRegion = vi == 1
+	} else {
+		oneAtRegion = vj == 1
+	}
+	if oneAtRegion {
+		return 1
+	}
+	return -1
+}
+
+// Apply implements Tracker.
+func (t *ZeroOneTracker) Apply(delta int) { t.onesInRegion += delta }
+
+// Sorted implements Tracker.
+func (t *ZeroOneTracker) Sorted() bool { return t.onesInRegion == 0 }
+
+// Misplaced implements Tracker.
+func (t *ZeroOneTracker) Misplaced() int { return t.onesInRegion }
+
+// MultisetTracker tracks grids with arbitrary (possibly duplicated)
+// values. Each rank position has a target value — the sorted multiset —
+// and the measure is the number of cells whose value differs from their
+// position's target. Zero measure is equivalent to being in target order;
+// unlike DistinctTracker, cells holding equal values are interchangeable.
+type MultisetTracker struct {
+	target    []int // target[i] = value that flat cell i holds when sorted
+	misplaced int
+}
+
+// NewMultisetTracker builds a tracker for g under target order o. It works
+// for any values, at the cost of an O(N log N) setup sort.
+func NewMultisetTracker(g *Grid, o Order) *MultisetTracker {
+	vals := g.Values()
+	sort.Ints(vals)
+	t := &MultisetTracker{target: make([]int, g.Len())}
+	for m, v := range vals {
+		t.target[g.RankFlat(o, m)] = v
+	}
+	for i, v := range g.cells {
+		if v != t.target[i] {
+			t.misplaced++
+		}
+	}
+	return t
+}
+
+// Delta implements Tracker. Cells i and j have just been swapped.
+func (t *MultisetTracker) Delta(g *Grid, i, j int) int {
+	vi := g.cells[i] // value now at i (was at j before the swap)
+	vj := g.cells[j]
+	d := 0
+	if vj != t.target[i] {
+		d--
+	}
+	if vi != t.target[j] {
+		d--
+	}
+	if vi != t.target[i] {
+		d++
+	}
+	if vj != t.target[j] {
+		d++
+	}
+	return d
+}
+
+// Apply implements Tracker.
+func (t *MultisetTracker) Apply(delta int) { t.misplaced += delta }
+
+// Sorted implements Tracker.
+func (t *MultisetTracker) Sorted() bool { return t.misplaced == 0 }
+
+// Misplaced implements Tracker.
+func (t *MultisetTracker) Misplaced() int { return t.misplaced }
+
+// NewTracker picks the appropriate tracker for g: a ZeroOneTracker when all
+// values are 0/1, a DistinctTracker for permutations of a contiguous range,
+// and a MultisetTracker for anything else (duplicates, gaps).
+func NewTracker(g *Grid, o Order) Tracker {
+	zeroOne := true
+	min, max := g.cells[0], g.cells[0]
+	for _, v := range g.cells {
+		if v != 0 && v != 1 {
+			zeroOne = false
+		}
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if zeroOne {
+		return NewZeroOneTracker(g, o)
+	}
+	if max-min+1 == len(g.cells) {
+		// Candidate contiguous permutation; confirm distinctness.
+		seen := make([]bool, len(g.cells))
+		distinct := true
+		for _, v := range g.cells {
+			if seen[v-min] {
+				distinct = false
+				break
+			}
+			seen[v-min] = true
+		}
+		if distinct {
+			return NewDistinctTracker(g, o)
+		}
+	}
+	return NewMultisetTracker(g, o)
+}

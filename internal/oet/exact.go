@@ -1,0 +1,76 @@
+package oet
+
+import "math/big"
+
+// ExactAverageSteps computes the exact average number of steps the forward
+// odd-even transposition sort needs on a uniformly random permutation of
+// 1..n, by enumerating all n! permutations. Feasible for n ≤ 9 (≈ 3.6·10⁵
+// permutations); it panics above 10.
+//
+// The paper lower-bounds this average by (N−1)/2 and observes it is
+// N − O(√N); this function pins the exact values at small N.
+func ExactAverageSteps(n int) *big.Rat {
+	if n > 10 {
+		panic("oet: ExactAverageSteps is exhaustive; n > 10 is infeasible")
+	}
+	if n <= 1 {
+		return new(big.Rat)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	total := big.NewInt(0)
+	count := big.NewInt(0)
+	work := make([]int, n)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			copy(work, perm)
+			total.Add(total, big.NewInt(int64(Sort(work, Forward))))
+			count.Add(count, big.NewInt(1))
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return new(big.Rat).SetFrac(total, count)
+}
+
+// ExactWorstCaseSteps computes the exact worst-case step count of the
+// forward sort over all permutations of 1..n by exhaustion (n ≤ 10).
+func ExactWorstCaseSteps(n int) int {
+	if n > 10 {
+		panic("oet: ExactWorstCaseSteps is exhaustive; n > 10 is infeasible")
+	}
+	if n <= 1 {
+		return 0
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i + 1
+	}
+	worst := 0
+	work := make([]int, n)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			copy(work, perm)
+			if s := Sort(work, Forward); s > worst {
+				worst = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return worst
+}

@@ -1,0 +1,70 @@
+package oet
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestExactAverageStepsTiny(t *testing.T) {
+	// n=2: permutations (1,2) -> 0 steps, (2,1) -> 1 step; average 1/2.
+	if got := ExactAverageSteps(2); got.Cmp(big.NewRat(1, 2)) != 0 {
+		t.Fatalf("n=2 average = %v, want 1/2", got)
+	}
+	// n=1 and n=0: zero.
+	if ExactAverageSteps(1).Sign() != 0 || ExactAverageSteps(0).Sign() != 0 {
+		t.Fatal("trivial sizes should average 0")
+	}
+}
+
+func TestExactAverageStepsN3ByHand(t *testing.T) {
+	// Enumerate the 6 permutations of (1,2,3) by hand:
+	//  123 -> 0,  132 -> 2,  213 -> 1,  231 -> 2,  312 -> 3,  321 -> 3.
+	// Average = 11/6.
+	if got := ExactAverageSteps(3); got.Cmp(big.NewRat(11, 6)) != 0 {
+		t.Fatalf("n=3 average = %v, want 11/6", got)
+	}
+}
+
+func TestExactAverageWithinPaperBounds(t *testing.T) {
+	// (N−1)/2 ≤ E[steps] ≤ N for all feasible N.
+	for n := 2; n <= 8; n++ {
+		avg := ExactAverageSteps(n)
+		lo := big.NewRat(int64(n-1), 2)
+		hi := big.NewRat(int64(n), 1)
+		if avg.Cmp(lo) < 0 || avg.Cmp(hi) > 0 {
+			t.Fatalf("n=%d: exact average %v outside [(N−1)/2, N]", n, avg)
+		}
+	}
+}
+
+func TestExactAverageMonotoneFractionOfN(t *testing.T) {
+	// E[steps]/N increases toward 1 as N grows (the N−Θ(√N) picture).
+	prev := 0.0
+	for n := 3; n <= 8; n++ {
+		avg, _ := ExactAverageSteps(n).Float64()
+		frac := avg / float64(n)
+		if frac < prev-0.02 {
+			t.Fatalf("n=%d: fraction %v dropped well below previous %v", n, frac, prev)
+		}
+		prev = frac
+	}
+}
+
+func TestExactWorstCaseSteps(t *testing.T) {
+	// Classical: worst case is n for n ≥ 3 (n−1 for n=2).
+	want := map[int]int{2: 1, 3: 3, 4: 4, 5: 5, 6: 6, 7: 7}
+	for n, w := range want {
+		if got := ExactWorstCaseSteps(n); got != w {
+			t.Fatalf("n=%d worst = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestExactPanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ExactAverageSteps(11)
+}

@@ -1,0 +1,223 @@
+package oet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func ascending(a []int) bool {
+	for i := 0; i+1 < len(a); i++ {
+		if a[i] > a[i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+func descending(a []int) bool {
+	for i := 0; i+1 < len(a); i++ {
+		if a[i] < a[i+1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStepParity(t *testing.T) {
+	if StepParity(1) != OddStep || StepParity(2) != EvenStep || StepParity(3) != OddStep {
+		t.Fatal("StepParity wrong")
+	}
+}
+
+func TestPairStart(t *testing.T) {
+	if PairStart(OddStep) != 0 || PairStart(EvenStep) != 1 {
+		t.Fatal("PairStart wrong")
+	}
+}
+
+func TestApplyStepForwardOdd(t *testing.T) {
+	a := []int{2, 1, 4, 3, 6, 5}
+	swaps := ApplyStep(a, OddStep, Forward)
+	if swaps != 3 {
+		t.Fatalf("swaps = %d, want 3", swaps)
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a = %v", a)
+		}
+	}
+}
+
+func TestApplyStepForwardEven(t *testing.T) {
+	a := []int{1, 3, 2, 5, 4, 6}
+	swaps := ApplyStep(a, EvenStep, Forward)
+	if swaps != 2 {
+		t.Fatalf("swaps = %d, want 2", swaps)
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a = %v", a)
+		}
+	}
+}
+
+func TestApplyStepReverse(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	// Reverse odd step: smaller value goes right.
+	ApplyStep(a, OddStep, Reverse)
+	want := []int{2, 1, 4, 3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("a = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestApplyStepOddLength(t *testing.T) {
+	// Last element of an odd-length array is untouched by odd steps when
+	// it has no partner.
+	a := []int{3, 2, 9}
+	ApplyStep(a, OddStep, Forward)
+	if a[2] != 9 || a[0] != 2 || a[1] != 3 {
+		t.Fatalf("a = %v", a)
+	}
+	b := []int{1, 5, 2}
+	ApplyStep(b, EvenStep, Forward)
+	if b[0] != 1 || b[1] != 2 || b[2] != 5 {
+		t.Fatalf("b = %v", b)
+	}
+}
+
+func TestSortSortsRandomPermutations(t *testing.T) {
+	src := rng.New(1)
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 17, 64, 129, 512} {
+		for trial := 0; trial < 20; trial++ {
+			a := make([]int, n)
+			rng.Perm(src, a)
+			steps := Sort(a, Forward)
+			if !ascending(a) {
+				t.Fatalf("n=%d not sorted: %v", n, a)
+			}
+			if steps > n {
+				t.Fatalf("n=%d took %d > n steps", n, steps)
+			}
+		}
+	}
+}
+
+func TestSortReverseSortsDescending(t *testing.T) {
+	src := rng.New(2)
+	for _, n := range []int{2, 5, 16, 33} {
+		a := make([]int, n)
+		rng.Perm(src, a)
+		steps := Sort(a, Reverse)
+		if !descending(a) {
+			t.Fatalf("n=%d not descending: %v", n, a)
+		}
+		if steps > n {
+			t.Fatalf("n=%d took %d > n steps", n, steps)
+		}
+	}
+}
+
+func TestSortSortedInputZeroSteps(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	if steps := Sort(a, Forward); steps != 0 {
+		t.Fatalf("sorted input took %d steps", steps)
+	}
+	b := []int{5, 4, 3, 2, 1}
+	if steps := Sort(b, Reverse); steps != 0 {
+		t.Fatalf("reverse-sorted input took %d steps in reverse mode", steps)
+	}
+}
+
+func TestSortAtMostNStepsProperty(t *testing.T) {
+	// Paper §1: the bubble sort sorts any input in at most N word steps.
+	f := func(seed uint64, n8 uint8) bool {
+		n := int(n8%100) + 1
+		a := make([]int, n)
+		rng.Perm(rng.New(seed), a)
+		steps := Sort(a, Forward)
+		return steps <= n && ascending(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortHandlesDuplicates(t *testing.T) {
+	a := []int{1, 0, 1, 0, 0, 1, 1, 0}
+	Sort(a, Forward)
+	if !ascending(a) {
+		t.Fatalf("0-1 input not sorted: %v", a)
+	}
+}
+
+func TestStepsToSortLeavesInputIntact(t *testing.T) {
+	a := []int{3, 1, 2}
+	_ = StepsToSort(a, Forward)
+	if a[0] != 3 || a[1] != 1 || a[2] != 2 {
+		t.Fatalf("input mutated: %v", a)
+	}
+}
+
+func TestWorstCaseInputSteps(t *testing.T) {
+	// The reversed array needs at least n-1 steps and at most n.
+	for _, n := range []int{2, 3, 4, 5, 8, 16, 33, 100} {
+		steps := StepsToSort(WorstCaseInput(n), Forward)
+		if steps < n-1 || steps > n {
+			t.Fatalf("n=%d worst case took %d steps", n, steps)
+		}
+	}
+}
+
+func TestAverageCaseIsNearN(t *testing.T) {
+	// Paper §1: the expected number of steps is at least N − O(√N) and at
+	// most N. Check the empirical mean falls in [N−3√N, N] for a few sizes.
+	src := rng.New(7)
+	for _, n := range []int{64, 144, 256} {
+		const trials = 200
+		sum := 0
+		a := make([]int, n)
+		for i := 0; i < trials; i++ {
+			rng.Perm(src, a)
+			sum += Sort(a, Forward)
+		}
+		mean := float64(sum) / trials
+		lo := float64(n) - 3*sqrtf(n)
+		if mean < lo || mean > float64(n) {
+			t.Fatalf("n=%d mean steps = %v, want in [%v,%d]", n, mean, lo, n)
+		}
+	}
+}
+
+func sqrtf(n int) float64 {
+	x := float64(n)
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestSmallestDistanceLowerBound(t *testing.T) {
+	if SmallestDistanceLowerBound(101) != 50 {
+		t.Fatalf("bound(101) = %v", SmallestDistanceLowerBound(101))
+	}
+}
+
+func BenchmarkSort1024(b *testing.B) {
+	src := rng.New(1)
+	a := make([]int, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		rng.Perm(src, a)
+		b.StartTimer()
+		Sort(a, Forward)
+	}
+}

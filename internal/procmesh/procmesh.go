@@ -1,0 +1,179 @@
+// Package procmesh simulates the paper's machine model literally: a mesh
+// of processors, one goroutine per cell, exchanging values over channels
+// along the comparison wires (including the row-major algorithms'
+// wrap-around wires), with a barrier between synchronous steps.
+//
+// The centralized engine (internal/engine) is the fast path; this package
+// exists to demonstrate that the comparator schedules behave identically
+// when executed by genuinely communicating processors — no processor ever
+// reads another's memory; values move only through channels. Tests confirm
+// step counts and final grids are bit-identical to the array engine.
+package procmesh
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// role describes what one processor does during one phase of the schedule.
+type role int
+
+const (
+	idle    role = iota // no comparison this phase
+	keepMin             // exchange with partner, keep the smaller value
+	keepMax             // exchange with partner, keep the larger value
+)
+
+// phasePlan is one processor's wiring for one phase: its role and the
+// channels to its comparison partner.
+type phasePlan struct {
+	role role
+	send chan<- int
+	recv <-chan int
+}
+
+// processor is one mesh cell: its current value and its per-phase wiring.
+type processor struct {
+	value  int
+	phases []phasePlan
+}
+
+// Result mirrors engine.Result for the fields procmesh can measure.
+type Result struct {
+	// Steps is the number of steps after which the mesh first matched the
+	// target order.
+	Steps int
+	// Swaps is the total number of exchanges performed (counted on the
+	// keep-min side of each wire, so each exchange counts once).
+	Swaps int64
+	// Sorted reports whether the mesh reached target order within the cap.
+	Sorted bool
+}
+
+// Run executes schedule s on g using one goroutine per processor. The grid
+// is updated in place when the run completes. maxSteps of 0 uses a 6N+64
+// cap; exceeding the cap returns an error.
+//
+// Execution model: per step, the coordinator broadcasts a "go" to every
+// processor (a channel send), each processor with a comparison this phase
+// exchanges values with its partner over dedicated channels and keeps the
+// min or max according to its role, and all processors signal completion
+// (the barrier). The coordinator then collects the values — processors
+// double as their own memory — to test for completion.
+func Run(g *grid.Grid, s sched.Schedule, maxSteps int) (Result, error) {
+	rows, cols := s.Dims()
+	if g.Rows() != rows || g.Cols() != cols {
+		return Result{}, fmt.Errorf("procmesh: grid is %dx%d, schedule wants %dx%d",
+			g.Rows(), g.Cols(), rows, cols)
+	}
+	if maxSteps == 0 {
+		maxSteps = 6*g.Len() + 64
+	}
+	period := s.Period()
+
+	// Build the processors and wire up each phase. For every comparator
+	// (lo, hi) of phase p we create two channels: one per direction.
+	procs := make([]*processor, g.Len())
+	for i := range procs {
+		procs[i] = &processor{
+			value:  g.AtFlat(i),
+			phases: make([]phasePlan, period),
+		}
+	}
+	for p := 0; p < period; p++ {
+		for _, cmp := range s.Step(p + 1) {
+			loToHi := make(chan int, 1)
+			hiToLo := make(chan int, 1)
+			procs[cmp.Lo].phases[p] = phasePlan{role: keepMin, send: loToHi, recv: hiToLo}
+			procs[cmp.Hi].phases[p] = phasePlan{role: keepMax, send: hiToLo, recv: loToHi}
+		}
+	}
+
+	// Control channels: one "go" channel per processor carrying the phase
+	// index (-1 terminates), one shared report channel delivering (id,
+	// value, swapped) after each step.
+	type report struct {
+		id, value int
+		swapped   bool
+	}
+	goCh := make([]chan int, len(procs))
+	reports := make(chan report, len(procs))
+	var wg sync.WaitGroup
+	for i := range procs {
+		goCh[i] = make(chan int, 1)
+		wg.Add(1)
+		go func(id int, pr *processor, steps <-chan int) {
+			defer wg.Done()
+			for phase := range steps {
+				if phase < 0 {
+					return
+				}
+				plan := pr.phases[phase]
+				swapped := false
+				switch plan.role {
+				case keepMin:
+					plan.send <- pr.value
+					other := <-plan.recv
+					if other < pr.value {
+						pr.value = other
+						swapped = true
+					}
+				case keepMax:
+					plan.send <- pr.value
+					other := <-plan.recv
+					if other > pr.value {
+						pr.value = other
+					}
+				}
+				reports <- report{id, pr.value, swapped}
+			}
+		}(i, procs[i], goCh[i])
+	}
+	stop := func() {
+		for _, ch := range goCh {
+			ch <- -1
+		}
+		wg.Wait()
+	}
+
+	tr := grid.NewTracker(g, s.Order())
+	snapshot := make([]int, len(procs))
+	for i := range snapshot {
+		snapshot[i] = procs[i].value
+	}
+
+	res := Result{}
+	if tr.Sorted() {
+		res.Sorted = true
+		stop()
+		return res, nil
+	}
+	for t := 1; t <= maxSteps; t++ {
+		phase := (t - 1) % period
+		for _, ch := range goCh {
+			ch <- phase
+		}
+		for range procs {
+			rep := <-reports
+			snapshot[rep.id] = rep.value
+			if rep.swapped {
+				res.Swaps++
+			}
+		}
+		// Re-derive sortedness from the collected snapshot.
+		for i, v := range snapshot {
+			g.SetFlat(i, v)
+		}
+		if g.IsSorted(s.Order()) {
+			res.Steps = t
+			res.Sorted = true
+			stop()
+			return res, nil
+		}
+	}
+	stop()
+	return res, fmt.Errorf("procmesh: %s did not sort within %d steps", s.Name(), maxSteps)
+}

@@ -1,0 +1,123 @@
+package procmesh
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func schedules(rows, cols int) []sched.Schedule {
+	var out []sched.Schedule
+	for _, name := range sched.Names() {
+		if cols%2 != 0 && (name == "rm-rf" || name == "rm-cf") {
+			continue
+		}
+		s, err := sched.ByName(name, rows, cols)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func TestProcMeshMatchesArrayEngine(t *testing.T) {
+	// The goroutine-per-processor execution must produce exactly the same
+	// step counts and final grids as the centralized engine.
+	src := rng.New(31)
+	for _, d := range [][2]int{{4, 4}, {6, 6}, {5, 5}, {4, 8}} {
+		rows, cols := d[0], d[1]
+		for _, s := range schedules(rows, cols) {
+			for trial := 0; trial < 3; trial++ {
+				seed := src.Uint64()
+				gProc := workload.RandomPermutation(rng.New(seed), rows, cols)
+				gArr := gProc.Clone()
+
+				resProc, err := Run(gProc, s, 0)
+				if err != nil {
+					t.Fatalf("%s %dx%d: %v", s.Name(), rows, cols, err)
+				}
+				resArr, err := engine.Run(gArr, s, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resProc.Steps != resArr.Steps {
+					t.Fatalf("%s %dx%d: procmesh %d steps, engine %d steps",
+						s.Name(), rows, cols, resProc.Steps, resArr.Steps)
+				}
+				if resProc.Swaps != resArr.Swaps {
+					t.Fatalf("%s %dx%d: procmesh %d swaps, engine %d swaps",
+						s.Name(), rows, cols, resProc.Swaps, resArr.Swaps)
+				}
+				if !gProc.Equal(gArr) {
+					t.Fatalf("%s %dx%d: final grids differ", s.Name(), rows, cols)
+				}
+			}
+		}
+	}
+}
+
+func TestProcMeshSortsZeroOne(t *testing.T) {
+	src := rng.New(9)
+	s := sched.NewSnakeB(6, 6)
+	for trial := 0; trial < 5; trial++ {
+		alpha := rng.Intn(src, 37)
+		g := workload.RandomZeroOne(src, 6, 6, alpha)
+		res, err := Run(g, s, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Sorted || !g.IsSorted(grid.Snake) {
+			t.Fatalf("alpha=%d not sorted after %d steps", alpha, res.Steps)
+		}
+	}
+}
+
+func TestProcMeshSortedInput(t *testing.T) {
+	s := sched.NewSnakeA(4, 4)
+	g := workload.SortedGrid(4, 4, grid.Snake)
+	res, err := Run(g, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 || !res.Sorted {
+		t.Fatalf("sorted input: %+v", res)
+	}
+}
+
+func TestProcMeshDimensionMismatch(t *testing.T) {
+	if _, err := Run(grid.New(4, 4), sched.NewSnakeA(6, 6), 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestProcMeshStepCap(t *testing.T) {
+	// The no-wrap ablation never sorts the all-zero column; the cap must
+	// trip and all goroutines must shut down cleanly.
+	g := workload.AllZeroColumn(4, 4, 0)
+	s, err := sched.ByName("rm-rf-nowrap", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, s, 64); err == nil {
+		t.Fatal("expected step-cap error")
+	}
+}
+
+func TestProcMeshWrapAround(t *testing.T) {
+	// The wrap-around wires must function across goroutine boundaries:
+	// Corollary 1's input sorts and needs at least 2N−4√N steps.
+	g := workload.AllZeroColumn(6, 6, 0)
+	s := sched.NewRowMajorRowFirst(6, 6)
+	res, err := Run(g, s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps < 2*36-4*6 {
+		t.Fatalf("steps = %d below the Corollary 1 bound", res.Steps)
+	}
+}

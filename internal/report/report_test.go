@@ -1,0 +1,92 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "n", "value")
+	tb.AddRow(1, 2.5)
+	tb.AddRow(100, "x")
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "n") {
+		t.Fatalf("render missing title/header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "1 ") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x", "y")
+	var b strings.Builder
+	if err := tb.Markdown(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "| a | b |\n| --- | --- |\n| x | y |\n"
+	if b.String() != want {
+		t.Fatalf("markdown = %q", b.String())
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(`hello, "world"`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a\n\"hello, \"\"world\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{3, "3"}, {1234.56, "1234.6"}, {2.5, "2.500"}, {0.12345, "0.1235"}, {-7, "-7"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Fatalf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	out := ASCIIPlot("growth", xs, map[byte][]float64{
+		'*': {1, 2, 3, 4},
+		'o': {4, 3, 2, 1},
+	}, 20, 6)
+	if !strings.Contains(out, "growth") || !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("plot missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8 { // title + 6 canvas rows + axis
+		t.Fatalf("plot has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestASCIIPlotEmpty(t *testing.T) {
+	out := ASCIIPlot("nothing", nil, nil, 10, 5)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestASCIIPlotConstantSeries(t *testing.T) {
+	out := ASCIIPlot("flat", []float64{1, 2}, map[byte][]float64{'*': {5, 5}}, 10, 4)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series missing marks:\n%s", out)
+	}
+}

@@ -1,0 +1,337 @@
+// Package sched defines the comparator schedules of the five
+// two-dimensional bubble sorting algorithms analysed by Savari (SPAA '93),
+// plus the shearsort baseline.
+//
+// Every algorithm in the paper is an oblivious sequence of synchronous
+// steps; each step applies a set of pairwise-disjoint compare-exchange
+// operations to the mesh. A Schedule exposes exactly that: the comparator
+// set of step t (1-indexed). The execution engine is elsewhere
+// (internal/engine); this package is pure schedule construction, which
+// makes the algorithms easy to test against the paper's step-by-step
+// definitions.
+//
+// Paper-to-code translation: the paper numbers rows/columns/steps from 1;
+// this package uses 0-indexed cells. "Odd rows" in the paper are rows with
+// r%2 == 0 here, and an "odd step of the bubble sort" compares 0-indexed
+// pairs (0,1),(2,3),… (see internal/oet).
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/oet"
+)
+
+// Comparator is a single compare-exchange wire: after the step, the smaller
+// value is at flat cell index Lo and the larger at flat cell index Hi.
+// ("Lo"/"Hi" name the destination of the low/high value, not a geometric
+// position: a reverse row comparison has Lo to the right of Hi.)
+type Comparator struct {
+	Lo, Hi int32
+}
+
+// Schedule describes one of the paper's algorithms on a fixed mesh.
+type Schedule interface {
+	// Name returns a short identifier ("rm-rf", "snake-a", …).
+	Name() string
+	// Order returns the target ordering the algorithm sorts into.
+	Order() grid.Order
+	// Dims returns the mesh dimensions the schedule was built for.
+	Dims() (rows, cols int)
+	// Step returns the comparator set of 1-indexed step t. The returned
+	// slice is shared and must not be modified.
+	Step(t int) []Comparator
+	// Period returns p > 0 such that Step(t) == Step(t+p) for all t.
+	Period() int
+}
+
+// fixed is a Schedule with a repeating list of per-step comparator sets.
+type fixed struct {
+	name       string
+	order      grid.Order
+	rows, cols int
+	phases     [][]Comparator
+}
+
+func (f *fixed) Name() string      { return f.name }
+func (f *fixed) Order() grid.Order { return f.order }
+func (f *fixed) Dims() (int, int)  { return f.rows, f.cols }
+func (f *fixed) Period() int       { return len(f.phases) }
+func (f *fixed) Step(t int) []Comparator {
+	if t < 1 {
+		panic(fmt.Sprintf("sched: step %d < 1", t))
+	}
+	return f.phases[(t-1)%len(f.phases)]
+}
+
+// rowSpec tells rowComparators what one row does during a row step.
+type rowSpec struct {
+	parity oet.Parity
+	dir    oet.Direction
+}
+
+// rowComparators builds the comparators of a row step; spec(r) chooses the
+// parity and direction of row r.
+func rowComparators(rows, cols int, spec func(r int) rowSpec) []Comparator {
+	var out []Comparator
+	for r := 0; r < rows; r++ {
+		s := spec(r)
+		base := int32(r * cols)
+		for c := oet.PairStart(s.parity); c+1 < cols; c += 2 {
+			left := base + int32(c)
+			right := left + 1
+			if s.dir == oet.Forward {
+				out = append(out, Comparator{Lo: left, Hi: right})
+			} else {
+				out = append(out, Comparator{Lo: right, Hi: left})
+			}
+		}
+	}
+	return out
+}
+
+// colComparators builds the comparators of a column step; parity(c) chooses
+// the phase of column c. Column comparisons always place the smaller value
+// in the top cell (every column sort in the paper does).
+func colComparators(rows, cols int, parity func(c int) oet.Parity) []Comparator {
+	var out []Comparator
+	for c := 0; c < cols; c++ {
+		p := parity(c)
+		for r := oet.PairStart(p); r+1 < rows; r += 2 {
+			top := int32(r*cols + c)
+			bottom := top + int32(cols)
+			out = append(out, Comparator{Lo: top, Hi: bottom})
+		}
+	}
+	return out
+}
+
+// wrapComparators builds the wrap-around comparisons of the row-major
+// algorithms: for h = 1,…,2n−1 (paper 1-indexed), compare row h of the last
+// column with row h+1 of the first column, smaller value to the last
+// column. 0-indexed: (h, cols−1) vs (h+1, 0) for h = 0,…,rows−2.
+func wrapComparators(rows, cols int) []Comparator {
+	out := make([]Comparator, 0, rows-1)
+	for h := 0; h+1 < rows; h++ {
+		right := int32(h*cols + cols - 1)
+		nextLeft := int32((h + 1) * cols)
+		out = append(out, Comparator{Lo: right, Hi: nextLeft})
+	}
+	return out
+}
+
+// uniformRow returns a rowSpec function applying the same parity/direction
+// to every row.
+func uniformRow(p oet.Parity, d oet.Direction) func(int) rowSpec {
+	return func(int) rowSpec { return rowSpec{p, d} }
+}
+
+// uniformCol returns a parity function applying the same parity to every
+// column.
+func uniformCol(p oet.Parity) func(int) oet.Parity {
+	return func(int) oet.Parity { return p }
+}
+
+// snakeRow returns the rowSpec function of the snakelike row steps: paper
+// "odd rows" (r%2==0 here) use parity pOdd with the Forward direction,
+// paper "even rows" use parity pEven with the Reverse direction.
+func snakeRow(pOdd, pEven oet.Parity) func(int) rowSpec {
+	return func(r int) rowSpec {
+		if r%2 == 0 {
+			return rowSpec{pOdd, oet.Forward}
+		}
+		return rowSpec{pEven, oet.Reverse}
+	}
+}
+
+// alternatingCol returns the column-parity function of SN-B/SN-C even
+// steps: paper "odd columns" (c%2==0 here) use pOdd, "even columns" pEven.
+func alternatingCol(pOdd, pEven oet.Parity) func(int) oet.Parity {
+	return func(c int) oet.Parity {
+		if c%2 == 0 {
+			return pOdd
+		}
+		return pEven
+	}
+}
+
+func requireDims(rows, cols int) {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("sched: invalid mesh %dx%d", rows, cols))
+	}
+}
+
+func requireEvenCols(name string, cols int) {
+	if cols%2 != 0 {
+		panic(fmt.Sprintf("sched: %s requires an even number of columns (paper assumes √N = 2n), got %d", name, cols))
+	}
+}
+
+// NewRowMajorRowFirst builds the paper's first algorithm (§1): row-major
+// target order, wrap-around wires, beginning with a row sort.
+//
+//	step 4i+1: every row performs an odd step of the bubble sort
+//	step 4i+2: every column performs an odd step (smaller value on top)
+//	step 4i+3: every row performs an even step; simultaneously the
+//	           wrap-around comparisons run between the last and first column
+//	step 4i+4: every column performs an even step
+func NewRowMajorRowFirst(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	requireEvenCols("row-major (row first)", cols)
+	rowsOdd := rowComparators(rows, cols, uniformRow(oet.OddStep, oet.Forward))
+	colsOdd := colComparators(rows, cols, uniformCol(oet.OddStep))
+	rowsEvenWrap := append(rowComparators(rows, cols, uniformRow(oet.EvenStep, oet.Forward)), wrapComparators(rows, cols)...)
+	colsEven := colComparators(rows, cols, uniformCol(oet.EvenStep))
+	return &fixed{
+		name:  "rm-rf",
+		order: grid.RowMajor,
+		rows:  rows, cols: cols,
+		phases: [][]Comparator{rowsOdd, colsOdd, rowsEvenWrap, colsEven},
+	}
+}
+
+// NewRowMajorColFirst builds the paper's second algorithm: identical to
+// NewRowMajorRowFirst except that it begins with a column sort — "steps
+// 2i+1 and 2i+2 of this algorithm are steps 2i+2 and 2i+1 of the first
+// algorithm, respectively".
+func NewRowMajorColFirst(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	requireEvenCols("row-major (column first)", cols)
+	rowsOdd := rowComparators(rows, cols, uniformRow(oet.OddStep, oet.Forward))
+	colsOdd := colComparators(rows, cols, uniformCol(oet.OddStep))
+	rowsEvenWrap := append(rowComparators(rows, cols, uniformRow(oet.EvenStep, oet.Forward)), wrapComparators(rows, cols)...)
+	colsEven := colComparators(rows, cols, uniformCol(oet.EvenStep))
+	return &fixed{
+		name:  "rm-cf",
+		order: grid.RowMajor,
+		rows:  rows, cols: cols,
+		phases: [][]Comparator{colsOdd, rowsOdd, colsEven, rowsEvenWrap},
+	}
+}
+
+// NewRowMajorRowFirstNoWrap is the ablation of NewRowMajorRowFirst without
+// the wrap-around comparisons. The paper's §1 remark — without wrap-around
+// wires an all-zero column can never disperse — means this schedule fails
+// to sort some inputs; it exists to demonstrate exactly that.
+func NewRowMajorRowFirstNoWrap(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	requireEvenCols("row-major (no wrap ablation)", cols)
+	rowsOdd := rowComparators(rows, cols, uniformRow(oet.OddStep, oet.Forward))
+	colsOdd := colComparators(rows, cols, uniformCol(oet.OddStep))
+	rowsEven := rowComparators(rows, cols, uniformRow(oet.EvenStep, oet.Forward))
+	colsEven := colComparators(rows, cols, uniformCol(oet.EvenStep))
+	return &fixed{
+		name:  "rm-rf-nowrap",
+		order: grid.RowMajor,
+		rows:  rows, cols: cols,
+		phases: [][]Comparator{rowsOdd, colsOdd, rowsEven, colsEven},
+	}
+}
+
+// NewSnakeA builds the paper's first snakelike algorithm:
+//
+//	step 4i+1: odd rows do an odd step of the bubble sort, even rows an
+//	           even step of the reverse bubble sort
+//	step 4i+2: every column does an odd step
+//	step 4i+3: odd rows do an even step, even rows an odd reverse step
+//	step 4i+4: every column does an even step
+func NewSnakeA(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	return &fixed{
+		name:  "snake-a",
+		order: grid.Snake,
+		rows:  rows, cols: cols,
+		phases: [][]Comparator{
+			rowComparators(rows, cols, snakeRow(oet.OddStep, oet.EvenStep)),
+			colComparators(rows, cols, uniformCol(oet.OddStep)),
+			rowComparators(rows, cols, snakeRow(oet.EvenStep, oet.OddStep)),
+			colComparators(rows, cols, uniformCol(oet.EvenStep)),
+		},
+	}
+}
+
+// NewSnakeB builds the paper's second snakelike algorithm: the same
+// odd-numbered steps as SnakeA, with column steps that stagger parity by
+// column:
+//
+//	step 4i+2: odd columns do an odd step, even columns an even step
+//	step 4i+4: odd columns do an even step, even columns an odd step
+func NewSnakeB(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	return &fixed{
+		name:  "snake-b",
+		order: grid.Snake,
+		rows:  rows, cols: cols,
+		phases: [][]Comparator{
+			rowComparators(rows, cols, snakeRow(oet.OddStep, oet.EvenStep)),
+			colComparators(rows, cols, alternatingCol(oet.OddStep, oet.EvenStep)),
+			rowComparators(rows, cols, snakeRow(oet.EvenStep, oet.OddStep)),
+			colComparators(rows, cols, alternatingCol(oet.EvenStep, oet.OddStep)),
+		},
+	}
+}
+
+// NewSnakeC builds the paper's third snakelike algorithm: the same
+// even-numbered steps as SnakeB, with row steps whose even rows use the
+// same parity as the odd rows:
+//
+//	step 4i+1: odd rows do an odd step, even rows an odd reverse step
+//	step 4i+3: odd rows do an even step, even rows an even reverse step
+func NewSnakeC(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	return &fixed{
+		name:  "snake-c",
+		order: grid.Snake,
+		rows:  rows, cols: cols,
+		phases: [][]Comparator{
+			rowComparators(rows, cols, func(r int) rowSpec {
+				if r%2 == 0 {
+					return rowSpec{oet.OddStep, oet.Forward}
+				}
+				return rowSpec{oet.OddStep, oet.Reverse}
+			}),
+			colComparators(rows, cols, alternatingCol(oet.OddStep, oet.EvenStep)),
+			rowComparators(rows, cols, func(r int) rowSpec {
+				if r%2 == 0 {
+					return rowSpec{oet.EvenStep, oet.Forward}
+				}
+				return rowSpec{oet.EvenStep, oet.Reverse}
+			}),
+			colComparators(rows, cols, alternatingCol(oet.EvenStep, oet.OddStep)),
+		},
+	}
+}
+
+// ByName constructs a schedule by its short name. Valid names: rm-rf,
+// rm-cf, rm-rf-nowrap, snake-a, snake-b, snake-c, shearsort.
+func ByName(name string, rows, cols int) (Schedule, error) {
+	switch name {
+	case "rm-rf":
+		return NewRowMajorRowFirst(rows, cols), nil
+	case "rm-cf":
+		return NewRowMajorColFirst(rows, cols), nil
+	case "rm-rf-nowrap":
+		return NewRowMajorRowFirstNoWrap(rows, cols), nil
+	case "snake-a":
+		return NewSnakeA(rows, cols), nil
+	case "snake-b":
+		return NewSnakeB(rows, cols), nil
+	case "snake-c":
+		return NewSnakeC(rows, cols), nil
+	case "shearsort":
+		return NewShearsort(rows, cols), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the five paper algorithms in paper order, then the baseline.
+func Names() []string {
+	return []string{"rm-rf", "rm-cf", "snake-a", "snake-b", "snake-c", "shearsort"}
+}
+
+// PaperNames lists only the five algorithms analysed in the paper.
+func PaperNames() []string {
+	return []string{"rm-rf", "rm-cf", "snake-a", "snake-b", "snake-c"}
+}

@@ -1,0 +1,381 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// allSchedules builds every schedule for the given dims; schedules that
+// reject the dims (row-major family on odd columns) are skipped.
+func allSchedules(rows, cols int) []Schedule {
+	var out []Schedule
+	for _, name := range append(Names(), "rm-rf-nowrap") {
+		s, err := func() (s Schedule, err error) {
+			defer func() {
+				if recover() != nil {
+					err = errSkip
+				}
+			}()
+			return ByName(name, rows, cols)
+		}()
+		if err == nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+var errSkip = &skipErr{}
+
+type skipErr struct{}
+
+func (*skipErr) Error() string { return "skip" }
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name, 4, 4)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("nope", 4, 4); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestDimsAndOrder(t *testing.T) {
+	s := NewSnakeA(6, 8)
+	r, c := s.Dims()
+	if r != 6 || c != 8 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	if s.Order() != grid.Snake {
+		t.Fatal("snake-a order wrong")
+	}
+	if NewRowMajorRowFirst(4, 4).Order() != grid.RowMajor {
+		t.Fatal("rm-rf order wrong")
+	}
+}
+
+func TestRowMajorRequiresEvenCols(t *testing.T) {
+	for _, build := range []func(int, int) Schedule{NewRowMajorRowFirst, NewRowMajorColFirst, NewRowMajorRowFirstNoWrap} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("odd columns accepted by a row-major schedule")
+				}
+			}()
+			build(4, 5)
+		}()
+	}
+}
+
+func TestSnakeAcceptsOddDims(t *testing.T) {
+	for _, build := range []func(int, int) Schedule{NewSnakeA, NewSnakeB, NewSnakeC, NewShearsort} {
+		s := build(5, 5)
+		if s.Step(1) == nil {
+			t.Fatal("no comparators on a 5x5 mesh")
+		}
+	}
+}
+
+func TestStepPanicsBelowOne(t *testing.T) {
+	for _, s := range []Schedule{NewSnakeA(4, 4), NewShearsort(4, 4)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Step(0) did not panic", s.Name())
+				}
+			}()
+			s.Step(0)
+		}()
+	}
+}
+
+func TestPeriodicity(t *testing.T) {
+	for _, s := range allSchedules(6, 6) {
+		p := s.Period()
+		if p <= 0 {
+			t.Fatalf("%s: period %d", s.Name(), p)
+		}
+		for t0 := 1; t0 <= 2*p; t0++ {
+			a := s.Step(t0)
+			b := s.Step(t0 + p)
+			if len(a) != len(b) {
+				t.Fatalf("%s: step %d and %d differ in length", s.Name(), t0, t0+p)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("%s: step %d and %d differ at %d", s.Name(), t0, t0+p, i)
+				}
+			}
+		}
+	}
+}
+
+func TestComparatorsInRangeAndDisjoint(t *testing.T) {
+	dims := [][2]int{{2, 2}, {4, 4}, {4, 6}, {6, 4}, {3, 3}, {5, 5}, {5, 7}, {8, 8}, {2, 8}, {7, 4}}
+	for _, d := range dims {
+		rows, cols := d[0], d[1]
+		n := int32(rows * cols)
+		for _, s := range allSchedules(rows, cols) {
+			for t0 := 1; t0 <= 2*s.Period(); t0++ {
+				seen := make(map[int32]bool)
+				for _, cmp := range s.Step(t0) {
+					if cmp.Lo < 0 || cmp.Lo >= n || cmp.Hi < 0 || cmp.Hi >= n {
+						t.Fatalf("%s %dx%d step %d: comparator %v out of range", s.Name(), rows, cols, t0, cmp)
+					}
+					if cmp.Lo == cmp.Hi {
+						t.Fatalf("%s %dx%d step %d: self comparator %v", s.Name(), rows, cols, t0, cmp)
+					}
+					if seen[cmp.Lo] || seen[cmp.Hi] {
+						t.Fatalf("%s %dx%d step %d: cell reused by comparator %v", s.Name(), rows, cols, t0, cmp)
+					}
+					seen[cmp.Lo] = true
+					seen[cmp.Hi] = true
+				}
+			}
+		}
+	}
+}
+
+// flat is a test helper mirroring grid.Flat for a given width.
+func flat(cols, r, c int) int32 { return int32(r*cols + c) }
+
+func hasComparator(comps []Comparator, want Comparator) bool {
+	for _, c := range comps {
+		if c == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRowMajorRowFirstStepStructure(t *testing.T) {
+	// Hand-check a 4x4 mesh against the paper's definition.
+	s := NewRowMajorRowFirst(4, 4)
+
+	// Step 1: odd row step — pairs (c,c+1) for c=0,2, min left, every row.
+	st1 := s.Step(1)
+	if len(st1) != 8 {
+		t.Fatalf("step 1 has %d comparators", len(st1))
+	}
+	if !hasComparator(st1, Comparator{flat(4, 2, 0), flat(4, 2, 1)}) {
+		t.Fatal("step 1 missing row comparator (2,0)-(2,1)")
+	}
+
+	// Step 2: odd column step — pairs (r,r+1) for r=0,2, min top.
+	st2 := s.Step(2)
+	if len(st2) != 8 {
+		t.Fatalf("step 2 has %d comparators", len(st2))
+	}
+	if !hasComparator(st2, Comparator{flat(4, 0, 3), flat(4, 1, 3)}) {
+		t.Fatal("step 2 missing column comparator (0,3)-(1,3)")
+	}
+
+	// Step 3: even row step (pairs c=1) plus 3 wrap comparators.
+	st3 := s.Step(3)
+	if len(st3) != 4+3 {
+		t.Fatalf("step 3 has %d comparators, want 7", len(st3))
+	}
+	// Wrap: (h, 3) vs (h+1, 0), min stays in column 3.
+	for h := 0; h < 3; h++ {
+		if !hasComparator(st3, Comparator{flat(4, h, 3), flat(4, h+1, 0)}) {
+			t.Fatalf("step 3 missing wrap comparator at h=%d", h)
+		}
+	}
+
+	// Step 4: even column step — pairs r=1 only.
+	st4 := s.Step(4)
+	if len(st4) != 4 {
+		t.Fatalf("step 4 has %d comparators", len(st4))
+	}
+	if !hasComparator(st4, Comparator{flat(4, 1, 0), flat(4, 2, 0)}) {
+		t.Fatal("step 4 missing column comparator (1,0)-(2,0)")
+	}
+}
+
+func TestRowMajorColFirstIsSwappedPairs(t *testing.T) {
+	// Steps 2i+1 and 2i+2 of rm-cf are steps 2i+2 and 2i+1 of rm-rf.
+	rf := NewRowMajorRowFirst(4, 6)
+	cf := NewRowMajorColFirst(4, 6)
+	pairs := [][2]int{{1, 2}, {2, 1}, {3, 4}, {4, 3}}
+	for _, p := range pairs {
+		a := cf.Step(p[0])
+		b := rf.Step(p[1])
+		if len(a) != len(b) {
+			t.Fatalf("cf step %d != rf step %d (len)", p[0], p[1])
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("cf step %d != rf step %d at %d", p[0], p[1], i)
+			}
+		}
+	}
+}
+
+func TestNoWrapAblationDropsOnlyWrap(t *testing.T) {
+	withWrap := NewRowMajorRowFirst(4, 4)
+	noWrap := NewRowMajorRowFirstNoWrap(4, 4)
+	if got, want := len(withWrap.Step(3)), len(noWrap.Step(3))+3; got != want {
+		t.Fatalf("wrap step sizes: with=%d without=%d", got, len(noWrap.Step(3)))
+	}
+	for _, t0 := range []int{1, 2, 4} {
+		if len(withWrap.Step(t0)) != len(noWrap.Step(t0)) {
+			t.Fatalf("non-wrap step %d differs", t0)
+		}
+	}
+}
+
+func TestSnakeAStepStructure(t *testing.T) {
+	s := NewSnakeA(4, 4)
+
+	// Step 1: rows 0,2 (paper-odd) odd forward: comparators (r,0)<->(r,1)
+	// min left, (r,2)<->(r,3) min left. Rows 1,3 (paper-even) even
+	// reverse: pairs (r,1)-(r,2) with min RIGHT: Lo=(r,2), Hi=(r,1).
+	st1 := s.Step(1)
+	if !hasComparator(st1, Comparator{flat(4, 0, 0), flat(4, 0, 1)}) {
+		t.Fatal("step 1 missing forward comparator in paper-odd row")
+	}
+	if !hasComparator(st1, Comparator{flat(4, 1, 2), flat(4, 1, 1)}) {
+		t.Fatal("step 1 missing reverse comparator in paper-even row")
+	}
+	// 2 rows × 2 pairs + 2 rows × 1 pair = 6.
+	if len(st1) != 6 {
+		t.Fatalf("step 1 has %d comparators, want 6", len(st1))
+	}
+
+	// Step 3: rows 0,2 even forward (pairs c=1), rows 1,3 odd reverse
+	// (pairs c=0 and c=2, min right).
+	st3 := s.Step(3)
+	if !hasComparator(st3, Comparator{flat(4, 0, 1), flat(4, 0, 2)}) {
+		t.Fatal("step 3 missing forward even comparator")
+	}
+	if !hasComparator(st3, Comparator{flat(4, 3, 1), flat(4, 3, 0)}) {
+		t.Fatal("step 3 missing reverse odd comparator")
+	}
+	if len(st3) != 6 {
+		t.Fatalf("step 3 has %d comparators, want 6", len(st3))
+	}
+
+	// Steps 2 and 4: plain column steps.
+	if len(s.Step(2)) != 8 || len(s.Step(4)) != 4 {
+		t.Fatalf("column steps have %d/%d comparators", len(s.Step(2)), len(s.Step(4)))
+	}
+}
+
+func TestSnakeBColumnStagger(t *testing.T) {
+	s := NewSnakeB(4, 4)
+	// Step 2: paper-odd columns (c=0,2) odd phase (pairs r=0,2); paper-even
+	// columns (c=1,3) even phase (pair r=1).
+	st2 := s.Step(2)
+	if !hasComparator(st2, Comparator{flat(4, 0, 0), flat(4, 1, 0)}) {
+		t.Fatal("step 2 missing odd-phase comparator in paper-odd column")
+	}
+	if !hasComparator(st2, Comparator{flat(4, 1, 1), flat(4, 2, 1)}) {
+		t.Fatal("step 2 missing even-phase comparator in paper-even column")
+	}
+	if hasComparator(st2, Comparator{flat(4, 0, 1), flat(4, 1, 1)}) {
+		t.Fatal("step 2 has odd-phase comparator in paper-even column")
+	}
+	// 2 columns × 2 pairs + 2 columns × 1 pair = 6.
+	if len(st2) != 6 {
+		t.Fatalf("step 2 has %d comparators, want 6", len(st2))
+	}
+	// Step 4 swaps the roles.
+	st4 := s.Step(4)
+	if !hasComparator(st4, Comparator{flat(4, 1, 0), flat(4, 2, 0)}) {
+		t.Fatal("step 4 missing even-phase comparator in paper-odd column")
+	}
+	if !hasComparator(st4, Comparator{flat(4, 0, 1), flat(4, 1, 1)}) {
+		t.Fatal("step 4 missing odd-phase comparator in paper-even column")
+	}
+}
+
+func TestSnakeCRowsShareParity(t *testing.T) {
+	s := NewSnakeC(4, 4)
+	// Step 1: ALL rows use the odd phase; paper-even rows reversed.
+	st1 := s.Step(1)
+	if !hasComparator(st1, Comparator{flat(4, 0, 0), flat(4, 0, 1)}) {
+		t.Fatal("step 1 missing forward comparator")
+	}
+	if !hasComparator(st1, Comparator{flat(4, 1, 1), flat(4, 1, 0)}) {
+		t.Fatal("step 1 missing reverse odd comparator in paper-even row")
+	}
+	// 4 rows × 2 pairs = 8.
+	if len(st1) != 8 {
+		t.Fatalf("step 1 has %d comparators, want 8", len(st1))
+	}
+	// Step 3: all rows even phase.
+	st3 := s.Step(3)
+	if len(st3) != 4 {
+		t.Fatalf("step 3 has %d comparators, want 4", len(st3))
+	}
+	if !hasComparator(st3, Comparator{flat(4, 1, 2), flat(4, 1, 1)}) {
+		t.Fatal("step 3 missing reverse even comparator")
+	}
+	// Even steps equal SnakeB's.
+	b := NewSnakeB(4, 4)
+	for _, t0 := range []int{2, 4} {
+		a, bb := s.Step(t0), b.Step(t0)
+		if len(a) != len(bb) {
+			t.Fatalf("snake-c step %d differs from snake-b", t0)
+		}
+		for i := range a {
+			if a[i] != bb[i] {
+				t.Fatalf("snake-c step %d differs from snake-b at %d", t0, i)
+			}
+		}
+	}
+}
+
+func TestShearsortStructure(t *testing.T) {
+	s := NewShearsort(4, 6)
+	if s.Period() != 10 {
+		t.Fatalf("period = %d, want 10", s.Period())
+	}
+	// Steps 1..6: row steps (snake direction), alternating parity.
+	st1 := s.Step(1)
+	if !hasComparator(st1, Comparator{flat(6, 0, 0), flat(6, 0, 1)}) {
+		t.Fatal("step 1 missing forward row comparator")
+	}
+	if !hasComparator(st1, Comparator{flat(6, 1, 1), flat(6, 1, 0)}) {
+		t.Fatal("step 1 missing reverse row comparator in paper-even row")
+	}
+	st2 := s.Step(2)
+	if !hasComparator(st2, Comparator{flat(6, 0, 1), flat(6, 0, 2)}) {
+		t.Fatal("step 2 missing even-parity row comparator")
+	}
+	// Steps 7..10: column steps.
+	st7 := s.Step(7)
+	if !hasComparator(st7, Comparator{flat(6, 0, 0), flat(6, 1, 0)}) {
+		t.Fatal("step 7 missing column comparator")
+	}
+	st8 := s.Step(8)
+	if !hasComparator(st8, Comparator{flat(6, 1, 0), flat(6, 2, 0)}) {
+		t.Fatal("step 8 missing even-parity column comparator")
+	}
+}
+
+func TestWrapComparatorCount(t *testing.T) {
+	comps := wrapComparators(5, 4)
+	if len(comps) != 4 {
+		t.Fatalf("wrapComparators(5,4) has %d entries", len(comps))
+	}
+	if comps[0] != (Comparator{Lo: 3, Hi: 4}) {
+		t.Fatalf("first wrap comparator = %v", comps[0])
+	}
+}
+
+func TestNamesCoverPaper(t *testing.T) {
+	if len(PaperNames()) != 5 {
+		t.Fatalf("PaperNames() = %v", PaperNames())
+	}
+	if len(Names()) != 6 {
+		t.Fatalf("Names() = %v", Names())
+	}
+}

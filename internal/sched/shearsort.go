@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"repro/internal/grid"
+	"repro/internal/oet"
+)
+
+// shearsort is the classical Θ(√N·log N) mesh sorting baseline
+// (Scherson/Sen/Shamir): alternating complete row phases (every row fully
+// sorted in snake direction) and complete column phases (every column
+// fully sorted top-down), both realized as odd-even transposition steps so
+// that step counts are directly comparable with the paper's algorithms.
+//
+// One round is cols row-steps followed by rows column-steps; ⌈log₂ rows⌉+1
+// rounds suffice, but the engine stops at the first sorted step anyway.
+type shearsort struct {
+	rows, cols int
+	rowPhases  [2][]Comparator // snake-direction row steps, by parity
+	colPhases  [2][]Comparator // column steps, by parity
+}
+
+// NewShearsort builds the baseline schedule for an R×C mesh.
+func NewShearsort(rows, cols int) Schedule {
+	requireDims(rows, cols)
+	s := &shearsort{rows: rows, cols: cols}
+	s.rowPhases[0] = rowComparators(rows, cols, snakeDirRow(oet.OddStep))
+	s.rowPhases[1] = rowComparators(rows, cols, snakeDirRow(oet.EvenStep))
+	s.colPhases[0] = colComparators(rows, cols, uniformCol(oet.OddStep))
+	s.colPhases[1] = colComparators(rows, cols, uniformCol(oet.EvenStep))
+	return s
+}
+
+// snakeDirRow gives every row the same parity but the snake direction:
+// paper-odd rows ascend, paper-even rows descend.
+func snakeDirRow(p oet.Parity) func(int) rowSpec {
+	return func(r int) rowSpec {
+		if r%2 == 0 {
+			return rowSpec{p, oet.Forward}
+		}
+		return rowSpec{p, oet.Reverse}
+	}
+}
+
+func (s *shearsort) Name() string      { return "shearsort" }
+func (s *shearsort) Order() grid.Order { return grid.Snake }
+func (s *shearsort) Dims() (int, int)  { return s.rows, s.cols }
+
+// Period is one full round: a complete row phase plus a complete column
+// phase.
+func (s *shearsort) Period() int { return s.cols + s.rows }
+
+// Step returns the comparators of 1-indexed step t: the first cols steps of
+// each round run the row phase (alternating parity, starting odd), the
+// remaining rows steps run the column phase.
+func (s *shearsort) Step(t int) []Comparator {
+	if t < 1 {
+		panic("sched: step < 1")
+	}
+	k := (t - 1) % (s.cols + s.rows)
+	if k < s.cols {
+		return s.rowPhases[k%2]
+	}
+	return s.colPhases[(k-s.cols)%2]
+}

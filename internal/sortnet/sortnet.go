@@ -1,0 +1,128 @@
+// Package sortnet views the paper's algorithms as what they are
+// mathematically: oblivious comparator networks. That viewpoint yields two
+// tools the rest of the reproduction builds on:
+//
+//   - The threshold decomposition theorem: a compare-exchange step commutes
+//     with monotone 0-1 projections, so a permutation input is sorted at
+//     step t iff every threshold projection is sorted at step t. Hence
+//     Steps(permutation) = max over k of Steps(threshold_k(permutation)).
+//     This is the quantitative sharpening of the classical 0-1 principle
+//     that the paper's analysis implicitly relies on when it lower-bounds
+//     permutation sorting time by A^01 sorting time.
+//
+//   - Exact exhaustive analysis for small meshes: because of the theorem,
+//     the exact worst-case step count over ALL inputs equals the worst case
+//     over the 2^N 0-1 inputs, which is enumerable for N ≤ ~20.
+package sortnet
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// StepsViaThresholds computes the number of steps schedule s needs on the
+// permutation grid g by running every 0-1 threshold projection separately
+// and taking the maximum — the threshold decomposition theorem. The grid is
+// not modified. It exists to cross-validate the direct measurement; the
+// direct path is faster.
+func StepsViaThresholds(g *grid.Grid, s sched.Schedule) (int, error) {
+	n := g.Len()
+	max := 0
+	for k := 1; k < n; k++ {
+		proj := g.Threshold(k)
+		res, err := engine.Run(proj, s, engine.Options{})
+		if err != nil {
+			return 0, fmt.Errorf("sortnet: threshold %d: %w", k, err)
+		}
+		if res.Steps > max {
+			max = res.Steps
+		}
+	}
+	return max, nil
+}
+
+// ExactWorstCaseSteps enumerates all 2^N 0-1 inputs of the schedule's mesh
+// and returns the maximum step count together with one witness input. By
+// the threshold decomposition theorem this maximum equals the worst case
+// over all inputs whatsoever. It panics if the mesh has more than 24 cells
+// (2^24 runs is where exhaustion stops being reasonable).
+func ExactWorstCaseSteps(s sched.Schedule) (worst int, witness *grid.Grid, err error) {
+	rows, cols := s.Dims()
+	n := rows * cols
+	if n > 24 {
+		panic(fmt.Sprintf("sortnet: exhaustive sweep of a %d-cell mesh is infeasible", n))
+	}
+	vals := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			vals[i] = (mask >> i) & 1
+		}
+		g := grid.FromValues(rows, cols, vals)
+		res, runErr := engine.Run(g, s, engine.Options{})
+		if runErr != nil {
+			return 0, nil, fmt.Errorf("sortnet: input %#x: %w", mask, runErr)
+		}
+		if res.Steps > worst {
+			worst = res.Steps
+			witness = grid.FromValues(rows, cols, func() []int {
+				w := make([]int, n)
+				for i := 0; i < n; i++ {
+					w[i] = (mask >> i) & 1
+				}
+				return w
+			}())
+		}
+	}
+	return worst, witness, nil
+}
+
+// CertifyZeroOne verifies that schedule s sorts every 0-1 input of its mesh
+// within maxSteps steps (0 = engine default). Combined with the 0-1
+// principle this certifies the schedule sorts all inputs of that mesh size.
+// Same 24-cell feasibility limit as ExactWorstCaseSteps.
+func CertifyZeroOne(s sched.Schedule, maxSteps int) error {
+	rows, cols := s.Dims()
+	n := rows * cols
+	if n > 24 {
+		panic(fmt.Sprintf("sortnet: exhaustive sweep of a %d-cell mesh is infeasible", n))
+	}
+	vals := make([]int, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			vals[i] = (mask >> i) & 1
+		}
+		g := grid.FromValues(rows, cols, vals)
+		if _, err := engine.Run(g, s, engine.Options{MaxSteps: maxSteps}); err != nil {
+			return fmt.Errorf("sortnet: %s fails on 0-1 input %#x: %w", s.Name(), mask, err)
+		}
+	}
+	return nil
+}
+
+// Stats describes the comparator network formed by the first T steps of a
+// schedule.
+type Stats struct {
+	Depth       int // T: the number of synchronous stages
+	Comparators int // total comparators across the T stages
+	WrapWires   int // comparators connecting the first and last columns
+}
+
+// NetworkStats summarizes the first T steps of s as a comparator network.
+func NetworkStats(s sched.Schedule, T int) Stats {
+	_, cols := s.Dims()
+	st := Stats{Depth: T}
+	for t := 1; t <= T; t++ {
+		for _, cmp := range s.Step(t) {
+			st.Comparators++
+			cLo := int(cmp.Lo) % cols
+			cHi := int(cmp.Hi) % cols
+			if (cLo == 0 && cHi == cols-1) || (cLo == cols-1 && cHi == 0) {
+				st.WrapWires++
+			}
+		}
+	}
+	return st
+}

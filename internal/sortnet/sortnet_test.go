@@ -1,0 +1,197 @@
+package sortnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/analysis"
+	"repro/internal/engine"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestThresholdCommutation(t *testing.T) {
+	// Compare-exchange commutes with monotone projection: running a step
+	// then thresholding equals thresholding then running, for every step
+	// of every algorithm.
+	src := rng.New(3)
+	for _, name := range sched.Names() {
+		s, err := sched.ByName(name, 6, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			g := workload.RandomPermutation(src, 6, 6)
+			k := 1 + rng.Intn(src, 34)
+			for t0 := 1; t0 <= 3*s.Period(); t0++ {
+				projectedFirst := g.Threshold(k)
+				engine.ApplyStep(projectedFirst, s.Step(t0))
+				engine.ApplyStep(g, s.Step(t0))
+				runFirst := g.Threshold(k)
+				if !projectedFirst.Equal(runFirst) {
+					t.Fatalf("%s step %d k=%d: projection does not commute", name, t0, k)
+				}
+			}
+		}
+	}
+}
+
+func TestStepsViaThresholdsMatchesDirect(t *testing.T) {
+	// The threshold decomposition theorem, empirically: the direct step
+	// count equals the max over 0-1 projections.
+	src := rng.New(5)
+	for _, name := range []string{"rm-rf", "rm-cf", "snake-a", "snake-b", "snake-c", "shearsort"} {
+		s, err := sched.ByName(name, 6, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 5; trial++ {
+			g := workload.RandomPermutation(src, 6, 6)
+			direct, err := engine.Run(g.Clone(), s, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaThresh, err := StepsViaThresholds(g, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct.Steps != viaThresh {
+				t.Fatalf("%s: direct %d != thresholds %d", name, direct.Steps, viaThresh)
+			}
+		}
+	}
+}
+
+func TestStepsViaThresholdsProperty(t *testing.T) {
+	s := sched.NewSnakeA(4, 4)
+	f := func(seed uint64) bool {
+		g := workload.RandomPermutation(rng.New(seed), 4, 4)
+		direct, err := engine.Run(g.Clone(), s, engine.Options{})
+		if err != nil {
+			return false
+		}
+		via, err := StepsViaThresholds(g, s)
+		return err == nil && via == direct.Steps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactWorstCase2x2(t *testing.T) {
+	for _, name := range []string{"rm-rf", "snake-a", "snake-b", "snake-c"} {
+		s, err := sched.ByName(name, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, witness, err := ExactWorstCaseSteps(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst <= 0 || worst > 16 {
+			t.Fatalf("%s: worst = %d", name, worst)
+		}
+		if witness == nil {
+			t.Fatalf("%s: no witness", name)
+		}
+		// The witness must actually attain the worst case.
+		res, err := engine.Run(witness.Clone(), s, engine.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps != worst {
+			t.Fatalf("%s: witness takes %d steps, reported %d", name, res.Steps, worst)
+		}
+	}
+}
+
+func TestExactWorstCase4x4MeetsCorollary1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	// For the row-major algorithms, the exact worst case over all inputs
+	// must be at least Corollary 1's 2N − 4√N.
+	for _, name := range []string{"rm-rf", "rm-cf"} {
+		s, err := sched.ByName(name, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst, _, err := ExactWorstCaseSteps(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := analysis.Corollary1WorstCase(16, 4)
+		if worst < bound {
+			t.Fatalf("%s: exact worst case %d < Corollary 1 bound %d", name, worst, bound)
+		}
+	}
+}
+
+func TestCertifyZeroOne(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	for _, name := range sched.Names() {
+		s, err := sched.ByName(name, 4, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := CertifyZeroOne(s, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// The no-wrap ablation must fail certification.
+	s, err := sched.ByName("rm-rf-nowrap", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CertifyZeroOne(s, 400); err == nil {
+		t.Fatal("no-wrap ablation certified — it must not sort all inputs")
+	}
+}
+
+func TestNetworkStats(t *testing.T) {
+	s := sched.NewRowMajorRowFirst(4, 4)
+	st := NetworkStats(s, 4)
+	// One period: 8 (rows odd) + 8 (cols odd) + 4+3 (rows even + wrap) + 4
+	// (cols even) = 27 comparators, 3 of them wrap wires.
+	if st.Depth != 4 || st.Comparators != 27 || st.WrapWires != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	sn := NetworkStats(sched.NewSnakeA(4, 4), 4)
+	if sn.WrapWires != 0 {
+		t.Fatalf("snake-a has wrap wires: %+v", sn)
+	}
+}
+
+func TestExactWorstCasePanicsOnBigMesh(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	_, _, _ = ExactWorstCaseSteps(sched.NewSnakeA(6, 6))
+}
+
+func TestExhaustiveWitnessIsZeroColumnLike(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep skipped in -short mode")
+	}
+	// Informative: the rm-rf worst witness has a heavily loaded column,
+	// echoing Corollary 1's construction. We only assert the worst case is
+	// attained by SOME input at least as bad as the all-zero column.
+	s := sched.NewRowMajorRowFirst(4, 4)
+	worst, _, err := ExactWorstCaseSteps(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.AllZeroColumn(4, 4, 0)
+	res, err := engine.Run(g, s, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < res.Steps {
+		t.Fatalf("worst %d < all-zero-column steps %d", worst, res.Steps)
+	}
+}

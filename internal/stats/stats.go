@@ -1,0 +1,165 @@
+// Package stats provides the small set of sample statistics the experiment
+// harness needs: means, unbiased variances, normal-approximation confidence
+// intervals, empirical tail probabilities, and fixed-width histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n−1 denominator)
+	StdDev   float64
+	Min      float64
+	Max      float64
+	Median   float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(len(xs)-1)
+		s.StdDev = math.Sqrt(s.Variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// SummarizeInts converts and summarizes an integer sample.
+func SummarizeInts(xs []int) Summary {
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return Summarize(f)
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean of the summarized sample.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.3g (95%% CI) sd=%.4g min=%g med=%g max=%g",
+		s.N, s.Mean, s.CI95(), s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// TailProbBelow returns the empirical probability that a sample value is
+// strictly below t.
+func TailProbBelow(xs []float64, t float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// TailProbBelowInts is TailProbBelow for integer samples.
+func TailProbBelowInts(xs []int, t float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if float64(x) < t {
+			n++
+		}
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Under   int // samples < Lo
+	Over    int // samples >= Hi
+	Total   int
+	BinSize float64
+}
+
+// NewHistogram builds a histogram with bins equal-width buckets over
+// [lo, hi). It panics if bins <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), BinSize: (hi - lo) / float64(bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.BinSize)
+		if i >= len(h.Counts) { // guard against float rounding at the edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Bin returns the [lo, hi) range of bucket i.
+func (h *Histogram) Bin(i int) (lo, hi float64) {
+	lo = h.Lo + float64(i)*h.BinSize
+	return lo, lo + h.BinSize
+}
+
+// Mode returns the index of the fullest bucket.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+		_ = c
+	}
+	return best
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || !almostEq(s.Mean, 5) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sum of squared deviations = 32; unbiased variance = 32/7.
+	if !almostEq(s.Variance, 32.0/7.0) {
+		t.Fatalf("variance = %v", s.Variance)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 4.5) {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Variance != 0 || s.Median != 3 {
+		t.Fatalf("single-sample summary wrong: %+v", s)
+	}
+	if !math.IsInf(s.CI95(), 1) {
+		t.Fatal("CI of single sample should be infinite")
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeIntsMatchesFloat(t *testing.T) {
+	a := SummarizeInts([]int{1, 2, 3, 4})
+	b := Summarize([]float64{1, 2, 3, 4})
+	if a.Mean != b.Mean || a.Variance != b.Variance {
+		t.Fatal("int and float summaries disagree")
+	}
+}
+
+func TestMedianOdd(t *testing.T) {
+	s := Summarize([]float64{9, 1, 5})
+	if s.Median != 5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small := Summarize([]float64{1, 2, 3, 4, 5})
+	big := Summarize(append(append(append([]float64{}, 1, 2, 3, 4, 5), 1, 2, 3, 4, 5), 1, 2, 3, 4, 5))
+	if big.CI95() >= small.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", big.CI95(), small.CI95())
+	}
+}
+
+func TestTailProbBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := TailProbBelow(xs, 3); got != 0.5 {
+		t.Fatalf("TailProbBelow = %v", got)
+	}
+	if got := TailProbBelow(xs, 0.5); got != 0 {
+		t.Fatalf("TailProbBelow = %v", got)
+	}
+	if got := TailProbBelow(nil, 1); got != 0 {
+		t.Fatalf("TailProbBelow(nil) = %v", got)
+	}
+	if got := TailProbBelowInts([]int{1, 2, 3, 4}, 2.5); got != 0.5 {
+		t.Fatalf("TailProbBelowInts = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 || h.Total != 7 {
+		t.Fatalf("under/over/total = %d/%d/%d", h.Under, h.Over, h.Total)
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[4] != 1 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	lo, hi := h.Bin(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("Bin(1) = [%v,%v)", lo, hi)
+	}
+	if h.Mode() != 0 {
+		t.Fatalf("Mode = %d", h.Mode())
+	}
+}
+
+func TestHistogramEdgeRounding(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	h.Add(math.Nextafter(1, 0)) // just below Hi must land in the last bin
+	if h.Counts[2] != 1 {
+		t.Fatalf("counts = %v over=%d", h.Counts, h.Over)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(1, 1, 3)
+}
+
+func TestMeanWithinSampleRangeProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-12 && s.Mean <= s.Max+1e-12 && s.Variance >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

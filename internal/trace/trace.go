@@ -1,0 +1,172 @@
+// Package trace provides per-step instrumentation recorders that plug into
+// the engine's Observer hook: the path of the smallest element (the object
+// of the paper's Lemmas 12–13 and Theorem 12) and time series of column
+// statistics (the travelling zero-sets of §2).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/grid"
+)
+
+// Position is a (row, column) mesh coordinate.
+type Position struct {
+	Row, Col int
+}
+
+// PositionTracer records where a distinguished value sits after every step.
+type PositionTracer struct {
+	value     int
+	positions []Position // positions[0] is the initial cell
+}
+
+// NewPositionTracer builds a tracer for value v on grid g (recording the
+// initial position immediately).
+func NewPositionTracer(g *grid.Grid, v int) *PositionTracer {
+	r, c, ok := g.FindValue(v)
+	if !ok {
+		panic(fmt.Sprintf("trace: value %d not present in grid", v))
+	}
+	return &PositionTracer{value: v, positions: []Position{{r, c}}}
+}
+
+// Observe is the engine Observer; call it after every step.
+func (p *PositionTracer) Observe(_ int, g *grid.Grid) {
+	r, c, ok := g.FindValue(p.value)
+	if !ok {
+		panic(fmt.Sprintf("trace: value %d vanished from grid", p.value))
+	}
+	p.positions = append(p.positions, Position{r, c})
+}
+
+// Positions returns the recorded path; index t is the position after step
+// t (index 0 is the initial cell).
+func (p *PositionTracer) Positions() []Position { return p.positions }
+
+// StepsToReach returns the first step index after which the value sits at
+// (row, col) and never moves again within the recorded trace, or -1 if it
+// never settles there.
+func (p *PositionTracer) StepsToReach(row, col int) int {
+	settled := -1
+	for t, pos := range p.positions {
+		if pos.Row == row && pos.Col == col {
+			if settled < 0 {
+				settled = t
+			}
+		} else {
+			settled = -1
+		}
+	}
+	return settled
+}
+
+// ColumnSeriesTracer records the zero count of every column after each
+// step of a 0-1 run — the quantity whose "travel" drives the §2 lemmas.
+type ColumnSeriesTracer struct {
+	series [][]int // series[t][c]; t=0 is the initial state
+}
+
+// NewColumnSeriesTracer builds a tracer, recording g's initial counts.
+func NewColumnSeriesTracer(g *grid.Grid) *ColumnSeriesTracer {
+	t := &ColumnSeriesTracer{}
+	t.record(g)
+	return t
+}
+
+func (t *ColumnSeriesTracer) record(g *grid.Grid) {
+	row := make([]int, g.Cols())
+	for c := range row {
+		row[c] = g.ColumnZeroCount(c)
+	}
+	t.series = append(t.series, row)
+}
+
+// Observe is the engine Observer.
+func (t *ColumnSeriesTracer) Observe(_ int, g *grid.Grid) { t.record(g) }
+
+// Series returns the recorded time series; Series()[t][c] is the zero
+// count of column c after step t.
+func (t *ColumnSeriesTracer) Series() [][]int { return t.series }
+
+// WriteCSV emits the series as CSV with a "step" column followed by one
+// column per mesh column.
+func (t *ColumnSeriesTracer) WriteCSV(w io.Writer) error {
+	if len(t.series) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprint(w, "step"); err != nil {
+		return err
+	}
+	for c := range t.series[0] {
+		if _, err := fmt.Fprintf(w, ",z%d", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for step, row := range t.series {
+		if _, err := fmt.Fprintf(w, "%d", step); err != nil {
+			return err
+		}
+		for _, v := range row {
+			if _, err := fmt.Fprintf(w, ",%d", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProgressTracer records, after every step, how many cells still differ
+// from the target arrangement. The resulting curve makes the Θ(N) behaviour
+// visible: the bubble algorithms drain misplacement at a bounded rate per
+// step (the travelling zero-sets limit progress), so the curve is a long
+// ramp, while shearsort's collapses in O(√N·log N).
+type ProgressTracer struct {
+	target []int // target[i] = value flat cell i holds when sorted
+	series []int // series[t] = misplaced cells after step t; [0] initial
+}
+
+// NewProgressTracer builds a tracer for g under target order o, recording
+// the initial misplacement immediately.
+func NewProgressTracer(g *grid.Grid, o grid.Order) *ProgressTracer {
+	sorted := g.Sorted(o)
+	t := &ProgressTracer{target: make([]int, g.Len())}
+	for i := range t.target {
+		t.target[i] = sorted.AtFlat(i)
+	}
+	t.record(g)
+	return t
+}
+
+func (t *ProgressTracer) record(g *grid.Grid) {
+	mis := 0
+	for i := 0; i < g.Len(); i++ {
+		if g.AtFlat(i) != t.target[i] {
+			mis++
+		}
+	}
+	t.series = append(t.series, mis)
+}
+
+// Observe is the engine Observer.
+func (t *ProgressTracer) Observe(_ int, g *grid.Grid) { t.record(g) }
+
+// Series returns the misplacement counts; index t is the count after step
+// t (index 0 is the initial state).
+func (t *ProgressTracer) Series() []int { return t.series }
+
+// Multi fans one Observer callback out to several tracers.
+func Multi(obs ...func(int, *grid.Grid)) func(int, *grid.Grid) {
+	return func(t int, g *grid.Grid) {
+		for _, o := range obs {
+			o(t, g)
+		}
+	}
+}

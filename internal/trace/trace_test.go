@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+func TestPositionTracerFollowsSmallest(t *testing.T) {
+	g := workload.RandomPermutation(rng.New(1), 6, 6)
+	tr := NewPositionTracer(g, 1)
+	res, err := core.Sort(g, core.SnakeC, core.Options{Observer: tr.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := tr.Positions()
+	if len(pos) < res.Steps+1 {
+		t.Fatalf("trace has %d entries, run took %d steps", len(pos), res.Steps)
+	}
+	// The smallest value ends at the top-left cell.
+	last := pos[len(pos)-1]
+	if last.Row != 0 || last.Col != 0 {
+		t.Fatalf("value 1 ended at %+v", last)
+	}
+	// Each step moves the value at most one cell (comparators are between
+	// neighbours or the wrap wires — snake-c has no wrap).
+	for i := 1; i < len(pos); i++ {
+		dr := pos[i].Row - pos[i-1].Row
+		dc := pos[i].Col - pos[i-1].Col
+		if dr < 0 {
+			dr = -dr
+		}
+		if dc < 0 {
+			dc = -dc
+		}
+		if dr+dc > 1 {
+			t.Fatalf("value 1 jumped from %+v to %+v at step %d", pos[i-1], pos[i], i)
+		}
+	}
+}
+
+func TestStepsToReach(t *testing.T) {
+	p := &PositionTracer{value: 1, positions: []Position{{1, 1}, {0, 1}, {0, 0}, {0, 0}}}
+	if got := p.StepsToReach(0, 0); got != 2 {
+		t.Fatalf("StepsToReach = %d, want 2", got)
+	}
+	if got := p.StepsToReach(2, 2); got != -1 {
+		t.Fatalf("StepsToReach = %d, want -1", got)
+	}
+	// Leaving and returning: only the final settle counts.
+	q := &PositionTracer{value: 1, positions: []Position{{0, 0}, {0, 1}, {0, 0}}}
+	if got := q.StepsToReach(0, 0); got != 2 {
+		t.Fatalf("StepsToReach = %d, want 2", got)
+	}
+}
+
+func TestPositionTracerPanicsOnMissingValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewPositionTracer(grid.FromRows([][]int{{2, 3}, {4, 5}}), 1)
+}
+
+func TestColumnSeriesTracer(t *testing.T) {
+	g := workload.HalfZeroOne(rng.New(2), 6, 6)
+	tr := NewColumnSeriesTracer(g)
+	if _, err := core.Sort(g, core.RowMajorRowFirst, core.Options{Observer: tr.Observe}); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Series()
+	if len(s) < 2 {
+		t.Fatalf("series too short: %d", len(s))
+	}
+	// Total zeroes is invariant.
+	total := 0
+	for _, v := range s[0] {
+		total += v
+	}
+	for step, row := range s {
+		sum := 0
+		for _, v := range row {
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("step %d: total zeroes %d != %d", step, sum, total)
+		}
+	}
+	// Final state: zeroes split as evenly as the target order allows.
+	last := s[len(s)-1]
+	for c, v := range last {
+		if v < total/6-1 || v > total/6+1 {
+			t.Fatalf("final column %d zero count %d not balanced (total %d)", c, v, total)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	g := grid.FromRows([][]int{{0, 1}, {1, 0}})
+	tr := NewColumnSeriesTracer(g)
+	tr.Observe(1, g)
+	var b strings.Builder
+	if err := tr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "step,z0,z1\n0,1,1\n1,1,1\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestProgressTracerMonotoneEnd(t *testing.T) {
+	g := workload.RandomPermutation(rng.New(3), 8, 8)
+	tr := NewProgressTracer(g, grid.Snake)
+	res, err := core.Sort(g, core.SnakeA, core.Options{Observer: tr.Observe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Series()
+	if len(s) < res.Steps+1 {
+		t.Fatalf("series has %d entries for %d steps", len(s), res.Steps)
+	}
+	if s[0] == 0 {
+		t.Fatal("random permutation reported initially sorted")
+	}
+	if s[res.Steps] != 0 {
+		t.Fatalf("misplacement %d after reported completion step", s[res.Steps])
+	}
+	// Progress per step is bounded: a step can fix at most as many cells
+	// as it has comparators × 2.
+	for i := 1; i < len(s); i++ {
+		if d := s[i-1] - s[i]; d > g.Len() {
+			t.Fatalf("step %d fixed %d cells", i, d)
+		}
+	}
+}
+
+func TestProgressTracerDuplicates(t *testing.T) {
+	// The target-value comparison (not identity) makes duplicates work.
+	g := grid.FromRows([][]int{{2, 1}, {1, 2}})
+	tr := NewProgressTracer(g, grid.RowMajor)
+	if tr.Series()[0] != 2 {
+		t.Fatalf("initial misplacement = %d, want 2", tr.Series()[0])
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	calls := 0
+	obs := Multi(func(int, *grid.Grid) { calls++ }, func(int, *grid.Grid) { calls += 10 })
+	obs(1, grid.New(1, 1))
+	if calls != 11 {
+		t.Fatalf("calls = %d", calls)
+	}
+}

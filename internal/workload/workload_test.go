@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/rng"
+)
+
+func isPermutation(g *grid.Grid) bool {
+	n := g.Len()
+	seen := make([]bool, n+1)
+	for i := 0; i < n; i++ {
+		v := g.AtFlat(i)
+		if v < 1 || v > n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func TestRandomPermutation(t *testing.T) {
+	g := RandomPermutation(rng.New(1), 6, 8)
+	if g.Rows() != 6 || g.Cols() != 8 {
+		t.Fatalf("dims %dx%d", g.Rows(), g.Cols())
+	}
+	if !isPermutation(g) {
+		t.Fatalf("not a permutation:\n%v", g)
+	}
+}
+
+func TestRandomPermutationDeterministic(t *testing.T) {
+	a := RandomPermutation(rng.New(5), 4, 4)
+	b := RandomPermutation(rng.New(5), 4, 4)
+	if !a.Equal(b) {
+		t.Fatal("same seed gave different grids")
+	}
+}
+
+func TestRandomZeroOneCounts(t *testing.T) {
+	for _, alpha := range []int{0, 1, 7, 16} {
+		g := RandomZeroOne(rng.New(2), 4, 4, alpha)
+		if got := g.CountValue(0); got != alpha {
+			t.Fatalf("alpha=%d: got %d zeroes", alpha, got)
+		}
+		if got := g.CountValue(1); got != 16-alpha {
+			t.Fatalf("alpha=%d: got %d ones", alpha, got)
+		}
+	}
+}
+
+func TestRandomZeroOnePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RandomZeroOne(rng.New(1), 2, 2, 5)
+}
+
+func TestHalfZeroOne(t *testing.T) {
+	g := HalfZeroOne(rng.New(3), 4, 4)
+	if g.CountValue(0) != 8 {
+		t.Fatalf("even N: %d zeroes", g.CountValue(0))
+	}
+	h := HalfZeroOne(rng.New(3), 3, 3)
+	if h.CountValue(0) != 5 { // ⌈9/2⌉ = 5 = 2n²+2n+1 for n=1
+		t.Fatalf("odd N: %d zeroes", h.CountValue(0))
+	}
+}
+
+func TestHalfZeroOneMatchesAppendixCount(t *testing.T) {
+	// For √N = 2n+1 the appendix zeroes count is 2n²+2n+1.
+	for n := 1; n <= 5; n++ {
+		side := 2*n + 1
+		g := HalfZeroOne(rng.New(9), side, side)
+		want := 2*n*n + 2*n + 1
+		if g.CountValue(0) != want {
+			t.Fatalf("side=%d: %d zeroes, want %d", side, g.CountValue(0), want)
+		}
+	}
+}
+
+func TestAllZeroColumn(t *testing.T) {
+	g := AllZeroColumn(4, 4, 2)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			want := 1
+			if c == 2 {
+				want = 0
+			}
+			if g.At(r, c) != want {
+				t.Fatalf("cell (%d,%d) = %d", r, c, g.At(r, c))
+			}
+		}
+	}
+}
+
+func TestSmallestInColumn(t *testing.T) {
+	g := SmallestInColumn(3, 4, 1)
+	if !isPermutation(g) {
+		t.Fatalf("not a permutation:\n%v", g)
+	}
+	for r := 0; r < 3; r++ {
+		if g.At(r, 1) != r+1 {
+			t.Fatalf("column 1 row %d = %d", r, g.At(r, 1))
+		}
+	}
+}
+
+func TestSortedGrid(t *testing.T) {
+	for _, o := range []grid.Order{grid.RowMajor, grid.Snake} {
+		g := SortedGrid(4, 5, o)
+		if !isPermutation(g) || !g.IsSorted(o) {
+			t.Fatalf("order %v: not sorted permutation:\n%v", o, g)
+		}
+	}
+}
+
+func TestReversedGrid(t *testing.T) {
+	g := ReversedGrid(3, 3, grid.RowMajor)
+	if !isPermutation(g) {
+		t.Fatal("not a permutation")
+	}
+	if g.At(0, 0) != 9 || g.At(2, 2) != 1 {
+		t.Fatalf("reversed grid wrong:\n%v", g)
+	}
+	if g.IsSorted(grid.RowMajor) {
+		t.Fatal("reversed grid claims sorted")
+	}
+}
+
+func TestPermutationWithSmallestAt(t *testing.T) {
+	f := func(seed uint64, r8, c8 uint8) bool {
+		rows, cols := 5, 7
+		r := int(r8) % rows
+		c := int(c8) % cols
+		g := PermutationWithSmallestAt(rng.New(seed), rows, cols, r, c)
+		return isPermutation(g) && g.At(r, c) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFewDistinct(t *testing.T) {
+	g := FewDistinct(rng.New(8), 5, 5, 3)
+	for i := 0; i < g.Len(); i++ {
+		if v := g.AtFlat(i); v < 1 || v > 3 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+	// k=1 collapses to a constant grid.
+	h := FewDistinct(rng.New(8), 3, 3, 1)
+	if h.CountValue(1) != 9 {
+		t.Fatal("k=1 grid not constant")
+	}
+}
+
+func TestFewDistinctPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	FewDistinct(rng.New(1), 2, 2, 0)
+}
+
+func TestZeroOneUniformity(t *testing.T) {
+	// Each cell of a HalfZeroOne grid should hold a zero with probability
+	// 1/2 (by symmetry).
+	const trials = 4000
+	src := rng.New(11)
+	zeroAt00 := 0
+	for i := 0; i < trials; i++ {
+		if HalfZeroOne(src, 4, 4).At(0, 0) == 0 {
+			zeroAt00++
+		}
+	}
+	p := float64(zeroAt00) / trials
+	if p < 0.45 || p > 0.55 {
+		t.Fatalf("P[cell (0,0) = 0] = %v, want ~0.5", p)
+	}
+}

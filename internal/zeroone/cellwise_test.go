@@ -1,0 +1,90 @@
+package zeroone
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+func TestLemma2CellwiseOnRealSteps(t *testing.T) {
+	s := sched.NewRowMajorRowFirst(6, 6)
+	for seed := uint64(0); seed < 100; seed++ {
+		g := randomZeroOne(seed, 6, 6)
+		for t0 := 1; t0 <= 16; t0++ {
+			before := g.Clone()
+			engine.ApplyStep(g, s.Step(t0))
+			if t0%4 == 1 {
+				if err := CheckLemma2Cellwise(before, g); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, t0, err)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma3CellwiseOnRealSteps(t *testing.T) {
+	s := sched.NewRowMajorRowFirst(6, 6)
+	for seed := uint64(200); seed < 300; seed++ {
+		g := randomZeroOne(seed, 6, 6)
+		for t0 := 1; t0 <= 16; t0++ {
+			before := g.Clone()
+			engine.ApplyStep(g, s.Step(t0))
+			if t0%4 == 3 {
+				if err := CheckLemma3Cellwise(before, g); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, t0, err)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma5And6CellwiseOnRealSteps(t *testing.T) {
+	for _, side := range []int{4, 6, 8} {
+		s := sched.NewSnakeA(side, side)
+		for seed := uint64(0); seed < 60; seed++ {
+			g := randomZeroOne(seed*13+uint64(side), side, side)
+			for t0 := 1; t0 <= 24; t0++ {
+				before := g.Clone()
+				engine.ApplyStep(g, s.Step(t0))
+				switch t0 % 4 {
+				case 2:
+					if err := CheckLemma5Cellwise(before, g); err != nil {
+						t.Fatalf("side %d seed %d step %d: %v", side, seed, t0, err)
+					}
+				case 3:
+					if err := CheckLemma6Cellwise(before, g); err != nil {
+						t.Fatalf("side %d seed %d step %d: %v", side, seed, t0, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCellwiseCheckersDetectViolations(t *testing.T) {
+	zeros := grid.FromRows([][]int{{0, 0}, {0, 0}})
+	ones := grid.FromRows([][]int{{1, 1}, {1, 1}})
+	if err := CheckLemma2Cellwise(zeros, ones); err == nil {
+		t.Fatal("lemma 2 cellwise accepted a violation")
+	}
+	before3 := grid.FromRows([][]int{{1, 0, 0, 1}, {0, 1, 1, 0}})
+	after3 := grid.FromRows([][]int{{1, 1, 1, 1}, {0, 0, 0, 0}})
+	if err := CheckLemma3Cellwise(before3, after3); err == nil {
+		t.Fatal("lemma 3 cellwise accepted a violation")
+	}
+	if err := CheckLemma5Cellwise(grid.FromRows([][]int{{1, 1}, {1, 0}}), ones); err == nil {
+		t.Fatal("lemma 5 cellwise accepted a violation")
+	}
+	if err := CheckLemma6Cellwise(grid.FromRows([][]int{{0, 1}, {1, 1}}), ones); err == nil {
+		t.Fatal("lemma 6 cellwise accepted a violation")
+	}
+}
+
+func TestLemma6CellwiseRejectsOddCols(t *testing.T) {
+	g := grid.FromRows([][]int{{0, 1, 0}})
+	if err := CheckLemma6Cellwise(g, g.Clone()); err == nil {
+		t.Fatal("odd columns accepted")
+	}
+}

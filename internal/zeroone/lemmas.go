@@ -1,0 +1,137 @@
+package zeroone
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// CheckLemma1 verifies Lemma 1 on a (before, after) pair surrounding a
+// column sorting step: the weight and zero count of every column are
+// unchanged.
+func CheckLemma1(before, after *grid.Grid) error {
+	zb, za := ColumnZeroCounts(before), ColumnZeroCounts(after)
+	for c := range zb {
+		if zb[c] != za[c] {
+			return fmt.Errorf("lemma 1 violated: column %d zero count %d -> %d", c, zb[c], za[c])
+		}
+	}
+	return nil
+}
+
+// CheckLemma2 verifies Lemma 2 on a (before, after) pair surrounding an
+// odd row sorting step of the row-major algorithms: for every paper-odd /
+// paper-even column pair (0-indexed even c),
+//
+//	w_{c+1}(after) >= w_c(before)   (ones travel right)
+//	z_c(after)     >= z_{c+1}(before)   (zeroes travel left)
+func CheckLemma2(before, after *grid.Grid) error {
+	zb, za := ColumnZeroCounts(before), ColumnZeroCounts(after)
+	wb, wa := ColumnWeights(before), ColumnWeights(after)
+	for c := 0; c+1 < before.Cols(); c += 2 {
+		if wa[c+1] < wb[c] {
+			return fmt.Errorf("lemma 2 violated: w_%d(after)=%d < w_%d(before)=%d", c+1, wa[c+1], c, wb[c])
+		}
+		if za[c] < zb[c+1] {
+			return fmt.Errorf("lemma 2 violated: z_%d(after)=%d < z_%d(before)=%d", c, za[c], c+1, zb[c+1])
+		}
+	}
+	return nil
+}
+
+// CheckLemma3 verifies Lemma 3 on a (before, after) pair surrounding an
+// even row sorting step (with wrap-around comparisons) of the row-major
+// algorithms: interior columns shift weight right / zeroes left across the
+// paper-even/odd boundary, and the wrap-around columns may lose at most one
+// unit:
+//
+//	w_c(after)    >= w_{c-1}(before)  for 0-indexed even c >= 2
+//	z_c(after)    >= z_{c+1}(before)  for 0-indexed odd c <= cols-3
+//	w_0(after)    >= w_last(before) − 1
+//	z_last(after) >= z_0(before) − 1
+func CheckLemma3(before, after *grid.Grid) error {
+	zb, za := ColumnZeroCounts(before), ColumnZeroCounts(after)
+	wb, wa := ColumnWeights(before), ColumnWeights(after)
+	cols := before.Cols()
+	for c := 2; c < cols; c += 2 {
+		if wa[c] < wb[c-1] {
+			return fmt.Errorf("lemma 3 violated: w_%d(after)=%d < w_%d(before)=%d", c, wa[c], c-1, wb[c-1])
+		}
+	}
+	for c := 1; c+1 < cols; c += 2 {
+		if za[c] < zb[c+1] {
+			return fmt.Errorf("lemma 3 violated: z_%d(after)=%d < z_%d(before)=%d", c, za[c], c+1, zb[c+1])
+		}
+	}
+	last := cols - 1
+	if wa[0] < wb[last]-1 {
+		return fmt.Errorf("lemma 3 violated at wrap: w_0(after)=%d < w_last(before)−1=%d", wa[0], wb[last]-1)
+	}
+	if za[last] < zb[0]-1 {
+		return fmt.Errorf("lemma 3 violated at wrap: z_last(after)=%d < z_0(before)−1=%d", za[last], zb[0]-1)
+	}
+	return nil
+}
+
+// BlockCanonical returns the image of a 2×2 block under the Theorem 4
+// block mapping (one column-sort step followed by one row-sort step, no
+// cross-block comparisons). The block is given and returned as
+// [r0c0, r0c1, r1c0, r1c1].
+func BlockCanonical(b [4]int) [4]int {
+	z := 0
+	for _, v := range b {
+		if v == 0 {
+			z++
+		}
+	}
+	switch z {
+	case 4:
+		return [4]int{0, 0, 0, 0}
+	case 3:
+		return [4]int{0, 0, 0, 1}
+	case 2:
+		// Column-aligned patterns keep a zero in each column; all other
+		// 2-zero patterns collapse to a zero row on top.
+		if b == [4]int{0, 1, 0, 1} || b == [4]int{1, 0, 1, 0} {
+			return [4]int{0, 1, 0, 1}
+		}
+		return [4]int{0, 0, 1, 1}
+	case 1:
+		return [4]int{0, 1, 1, 1}
+	default:
+		return [4]int{1, 1, 1, 1}
+	}
+}
+
+// Block extracts the aligned 2×2 block with top-left corner (2h, 2j)
+// (0-indexed) as [r0c0, r0c1, r1c0, r1c1].
+func Block(g *grid.Grid, h, j int) [4]int {
+	return [4]int{
+		g.At(2*h, 2*j), g.At(2*h, 2*j+1),
+		g.At(2*h+1, 2*j), g.At(2*h+1, 2*j+1),
+	}
+}
+
+// CheckBlockMapping verifies the Theorem 4 proof's claim: after the first
+// column sort and first row sort of the column-first algorithm, every
+// aligned 2×2 block of the initial 0-1 matrix has been mapped to its
+// canonical image, with no values crossing block boundaries. Dimensions
+// must be even.
+func CheckBlockMapping(initial, afterTwoSteps *grid.Grid) error {
+	requireZeroOne(initial)
+	requireZeroOne(afterTwoSteps)
+	if initial.Rows()%2 != 0 || initial.Cols()%2 != 0 {
+		return fmt.Errorf("zeroone: block mapping needs even dimensions, got %dx%d", initial.Rows(), initial.Cols())
+	}
+	for h := 0; h < initial.Rows()/2; h++ {
+		for j := 0; j < initial.Cols()/2; j++ {
+			want := BlockCanonical(Block(initial, h, j))
+			got := Block(afterTwoSteps, h, j)
+			if got != want {
+				return fmt.Errorf("block (%d,%d): initial %v mapped to %v, want %v",
+					h, j, Block(initial, h, j), got, want)
+			}
+		}
+	}
+	return nil
+}

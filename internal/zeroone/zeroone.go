@@ -1,0 +1,223 @@
+// Package zeroone implements the 0-1 matrix machinery of the paper's
+// analysis (§2 and §3): column weights and zero counts, the statistic M
+// driving Theorem 1 / Corollary 2, the statistics Z₁(i)…Z₄(i) of the first
+// snakelike algorithm (Definitions 4–7 and 12–13), the statistics
+// Y₁(i)…Y₃(i) of the second (Definitions 8–10), and checkers for the
+// travel/monotonicity lemmas.
+//
+// Index translation: the paper numbers rows and columns from 1; this
+// package uses 0-indexed grids. A paper-odd column (1,3,…) is a 0-indexed
+// even column; a paper-even row (2,4,…) is a 0-indexed odd row.
+package zeroone
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// requireZeroOne panics unless g holds only 0s and 1s.
+func requireZeroOne(g *grid.Grid) {
+	for i := 0; i < g.Len(); i++ {
+		if v := g.AtFlat(i); v != 0 && v != 1 {
+			panic(fmt.Sprintf("zeroone: grid holds non-0-1 value %d", v))
+		}
+	}
+}
+
+// ColumnZeroCounts returns z_k for every column (paper Definition 2),
+// 0-indexed.
+func ColumnZeroCounts(g *grid.Grid) []int {
+	requireZeroOne(g)
+	out := make([]int, g.Cols())
+	for c := range out {
+		out[c] = g.ColumnZeroCount(c)
+	}
+	return out
+}
+
+// ColumnWeights returns w_k for every column (paper Definitions 2–3),
+// 0-indexed.
+func ColumnWeights(g *grid.Grid) []int {
+	requireZeroOne(g)
+	out := make([]int, g.Cols())
+	for c := range out {
+		out[c] = g.ColumnWeight(c)
+	}
+	return out
+}
+
+// M computes the statistic of Corollary 2 on a 0-1 grid observed
+// immediately after the first row sorting step of a row-major algorithm:
+//
+//	M = max{ max over paper-odd columns of Z, max over paper-even columns
+//	         of W } − n − 1
+//
+// where Z is the column's zero count, W its weight, and n = side/2. The
+// side length must be even (the paper's √N = 2n setting).
+func M(g *grid.Grid) int {
+	requireZeroOne(g)
+	if g.Cols()%2 != 0 {
+		panic("zeroone: M requires an even number of columns")
+	}
+	n := g.Cols() / 2
+	best := 0
+	for c := 0; c < g.Cols(); c++ {
+		var v int
+		if c%2 == 0 { // paper-odd column: count zeroes
+			v = g.ColumnZeroCount(c)
+		} else { // paper-even column: weight
+			v = g.ColumnWeight(c)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best - n - 1
+}
+
+// Z1FirstColumnZeroes returns Z₁ of Lemma 4: the number of zeroes in
+// (0-indexed) column 0 — paper column 1 — of a grid observed immediately
+// after the first row sorting step.
+func Z1FirstColumnZeroes(g *grid.Grid) int {
+	requireZeroOne(g)
+	return g.ColumnZeroCount(0)
+}
+
+// SnakeZ1 computes Z₁(i) of the first snakelike algorithm (Definition 4
+// for √N = 2n, Definition 12 for √N = 2n+1): the number of zeroes in the
+// paper-odd columns other than the last column, plus the zeroes in the
+// paper-even rows of the last column. The grid must be observed just after
+// a step of the form 4i+1.
+func SnakeZ1(g *grid.Grid) int {
+	requireZeroOne(g)
+	last := g.Cols() - 1
+	total := 0
+	for c := 0; c < last; c += 2 { // paper-odd columns before the last
+		total += g.ColumnZeroCount(c)
+	}
+	for r := 1; r < g.Rows(); r += 2 { // paper-even rows of the last column
+		if g.At(r, last) == 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// SnakeZ2 computes Z₂(i) (Definitions 5 and 13): zeroes in the paper-odd
+// columns other than the last, plus zeroes in the paper-odd rows of the
+// last column, observed just after step 4i+2.
+func SnakeZ2(g *grid.Grid) int {
+	requireZeroOne(g)
+	last := g.Cols() - 1
+	total := 0
+	for c := 0; c < last; c += 2 {
+		total += g.ColumnZeroCount(c)
+	}
+	for r := 0; r < g.Rows(); r += 2 { // paper-odd rows of the last column
+		if g.At(r, last) == 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// SnakeZ3 computes Z₃(i) (Definition 6): zeroes in the paper-even columns,
+// plus zeroes in the paper-odd rows of column 0, observed just after step
+// 4i+3.
+func SnakeZ3(g *grid.Grid) int {
+	requireZeroOne(g)
+	total := 0
+	for c := 1; c < g.Cols(); c += 2 { // paper-even columns
+		total += g.ColumnZeroCount(c)
+	}
+	for r := 0; r < g.Rows(); r += 2 { // paper-odd rows of column 1
+		if g.At(r, 0) == 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// SnakeZ4 computes Z₄(i) (Definition 7): zeroes in the paper-even columns,
+// plus zeroes in the paper-even rows of column 0, observed just after step
+// 4i+4.
+func SnakeZ4(g *grid.Grid) int {
+	requireZeroOne(g)
+	total := 0
+	for c := 1; c < g.Cols(); c += 2 {
+		total += g.ColumnZeroCount(c)
+	}
+	for r := 1; r < g.Rows(); r += 2 { // paper-even rows of column 1
+		if g.At(r, 0) == 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// SnakeY1 computes Y₁(i) of the second snakelike algorithm (Definition 8):
+// the number of zeroes in the paper-odd columns, observed just after step
+// 4i+1 (equivalently 4i+2, since those column sorts move nothing across
+// columns).
+func SnakeY1(g *grid.Grid) int {
+	requireZeroOne(g)
+	total := 0
+	for c := 0; c < g.Cols(); c += 2 {
+		total += g.ColumnZeroCount(c)
+	}
+	return total
+}
+
+// SnakeY2 computes Y₂(i) (Definition 9): zeroes in paper columns
+// 2,4,…,2n−2, plus zeroes in the paper-odd rows of column 0 and the
+// paper-even rows of the last column, observed just after step 4i+3. The
+// side length must be even.
+func SnakeY2(g *grid.Grid) int {
+	requireZeroOne(g)
+	if g.Cols()%2 != 0 {
+		panic("zeroone: SnakeY2 requires an even number of columns")
+	}
+	last := g.Cols() - 1
+	total := 0
+	for c := 1; c < last; c += 2 { // paper columns 2..2n−2
+		total += g.ColumnZeroCount(c)
+	}
+	for r := 0; r < g.Rows(); r += 2 { // paper-odd rows of column 1
+		if g.At(r, 0) == 0 {
+			total++
+		}
+	}
+	for r := 1; r < g.Rows(); r += 2 { // paper-even rows of column 2n
+		if g.At(r, last) == 0 {
+			total++
+		}
+	}
+	return total
+}
+
+// SnakeY3 computes Y₃(i) (Definition 10): zeroes in paper columns
+// 2,4,…,2n−2, plus zeroes in the paper-even rows of column 0 and the
+// paper-odd rows of the last column, observed just after step 4i+4.
+func SnakeY3(g *grid.Grid) int {
+	requireZeroOne(g)
+	if g.Cols()%2 != 0 {
+		panic("zeroone: SnakeY3 requires an even number of columns")
+	}
+	last := g.Cols() - 1
+	total := 0
+	for c := 1; c < last; c += 2 {
+		total += g.ColumnZeroCount(c)
+	}
+	for r := 1; r < g.Rows(); r += 2 { // paper-even rows of column 1
+		if g.At(r, 0) == 0 {
+			total++
+		}
+	}
+	for r := 0; r < g.Rows(); r += 2 { // paper-odd rows of column 2n
+		if g.At(r, last) == 0 {
+			total++
+		}
+	}
+	return total
+}

@@ -1,0 +1,326 @@
+package zeroone
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestColumnCounts(t *testing.T) {
+	g := grid.FromRows([][]int{
+		{0, 1, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+	})
+	z := ColumnZeroCounts(g)
+	w := ColumnWeights(g)
+	wantZ := []int{2, 1, 1}
+	for c := range wantZ {
+		if z[c] != wantZ[c] {
+			t.Fatalf("z = %v", z)
+		}
+		if w[c] != 3-wantZ[c] {
+			t.Fatalf("w = %v", w)
+		}
+	}
+}
+
+func TestRequireZeroOnePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on non-0-1 grid")
+		}
+	}()
+	ColumnZeroCounts(grid.FromRows([][]int{{0, 7}}))
+}
+
+func TestMStatistic(t *testing.T) {
+	// 4x4, n=2. Paper-odd columns are 0-indexed 0,2 (count zeroes),
+	// paper-even are 1,3 (count ones).
+	g := grid.FromRows([][]int{
+		{0, 1, 0, 1},
+		{0, 1, 1, 1},
+		{0, 0, 0, 1},
+		{0, 1, 1, 0},
+	})
+	// zeroes: col0=4, col2=2; weights: col1=3, col3=3. max=4, M=4-2-1=1.
+	if got := M(g); got != 1 {
+		t.Fatalf("M = %d, want 1", got)
+	}
+}
+
+func TestMPanicsOnOddCols(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	M(grid.FromRows([][]int{{0, 1, 0}}))
+}
+
+func TestZ1FirstColumnZeroes(t *testing.T) {
+	g := grid.FromRows([][]int{{0, 1}, {0, 1}, {1, 0}})
+	if got := Z1FirstColumnZeroes(g); got != 2 {
+		t.Fatalf("Z1 = %d", got)
+	}
+}
+
+func TestSnakeZStatisticsEvenSide(t *testing.T) {
+	// 4x4 grid; check the index sets by construction. Paper-odd columns
+	// before the last: 0-indexed 0 and 2. Paper-even rows of last column:
+	// 0-indexed rows 1,3 of column 3.
+	g := grid.New(4, 4)
+	for i := 0; i < g.Len(); i++ {
+		g.SetFlat(i, 1)
+	}
+	g.Set(0, 0, 0) // in Z1 (column 0)
+	g.Set(2, 2, 0) // in Z1 (column 2)
+	g.Set(1, 3, 0) // in Z1 (even row of last column)
+	g.Set(0, 3, 0) // NOT in Z1 (odd row of last column) — but in Z2
+	g.Set(1, 1, 0) // NOT in Z1 (paper-even column)
+	if got := SnakeZ1(g); got != 3 {
+		t.Fatalf("SnakeZ1 = %d, want 3", got)
+	}
+	if got := SnakeZ2(g); got != 3 { // cols 0,2 (2 zeroes) + odd rows of col 3 (1 zero)
+		t.Fatalf("SnakeZ2 = %d, want 3", got)
+	}
+	// Z3: paper-even columns (1,3) zeroes: (1,1),(0,3),(1,3) = 3; plus
+	// paper-odd rows of column 0: (0,0) = 1. Total 4.
+	if got := SnakeZ3(g); got != 4 {
+		t.Fatalf("SnakeZ3 = %d, want 4", got)
+	}
+	// Z4: paper-even columns zeroes = 3; paper-even rows of column 0: none.
+	if got := SnakeZ4(g); got != 3 {
+		t.Fatalf("SnakeZ4 = %d, want 3", got)
+	}
+}
+
+func TestSnakeZStatisticsOddSide(t *testing.T) {
+	// 5x5: paper-odd columns before the last are 0-indexed 0, 2 (column 4
+	// is the last). Appendix Definition 12.
+	g := grid.New(5, 5)
+	for i := 0; i < g.Len(); i++ {
+		g.SetFlat(i, 1)
+	}
+	g.Set(0, 0, 0) // column 0: in Z1
+	g.Set(4, 2, 0) // column 2: in Z1
+	g.Set(3, 4, 0) // even paper row of last column: in Z1
+	g.Set(2, 4, 0) // odd paper row of last column: not in Z1, in Z2
+	if got := SnakeZ1(g); got != 3 {
+		t.Fatalf("odd-side SnakeZ1 = %d, want 3", got)
+	}
+	if got := SnakeZ2(g); got != 3 {
+		t.Fatalf("odd-side SnakeZ2 = %d, want 3", got)
+	}
+}
+
+func TestSnakeYStatistics(t *testing.T) {
+	g := grid.New(4, 4)
+	for i := 0; i < g.Len(); i++ {
+		g.SetFlat(i, 1)
+	}
+	g.Set(0, 0, 0) // col 0: in Y1; col 0 is NOT in Y2/Y3 interior (cols 1..last-1 odd)
+	g.Set(2, 2, 0) // col 2: in Y1
+	g.Set(1, 1, 0) // col 1: interior for Y2/Y3
+	// Y1 = zeroes in 0-indexed even columns = 2.
+	if got := SnakeY1(g); got != 2 {
+		t.Fatalf("SnakeY1 = %d, want 2", got)
+	}
+	// Y2 = interior col 1 (1 zero) + paper-odd rows of col 0 ((0,0): 1)
+	//    + paper-even rows of col 3 (none) = 2.
+	if got := SnakeY2(g); got != 2 {
+		t.Fatalf("SnakeY2 = %d, want 2", got)
+	}
+	// Y3 = interior col 1 (1) + paper-even rows of col 0 (none)
+	//    + paper-odd rows of col 3 (none) = 1.
+	if got := SnakeY3(g); got != 1 {
+		t.Fatalf("SnakeY3 = %d, want 1", got)
+	}
+}
+
+// --- Lemma checkers against the real schedules ---
+
+func randomZeroOne(seed uint64, rows, cols int) *grid.Grid {
+	src := rng.New(seed)
+	alpha := rng.Intn(src, rows*cols+1)
+	return workload.RandomZeroOne(src, rows, cols, alpha)
+}
+
+func TestLemma1OnColumnSorts(t *testing.T) {
+	// Column sorting steps of rm-rf are steps 2 and 4.
+	s := sched.NewRowMajorRowFirst(6, 6)
+	for seed := uint64(0); seed < 50; seed++ {
+		g := randomZeroOne(seed, 6, 6)
+		// Advance through a few periods, checking every column step.
+		for t0 := 1; t0 <= 12; t0++ {
+			before := g.Clone()
+			engine.ApplyStep(g, s.Step(t0))
+			if t0%4 == 2 || t0%4 == 0 {
+				if err := CheckLemma1(before, g); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, t0, err)
+				}
+			}
+		}
+	}
+}
+
+func TestLemma2OnOddRowSorts(t *testing.T) {
+	s := sched.NewRowMajorRowFirst(6, 6)
+	for seed := uint64(0); seed < 100; seed++ {
+		g := randomZeroOne(seed, 6, 6)
+		for t0 := 1; t0 <= 16; t0++ {
+			before := g.Clone()
+			engine.ApplyStep(g, s.Step(t0))
+			if t0%4 == 1 {
+				if err := CheckLemma2(before, g); err != nil {
+					t.Fatalf("seed %d step %d: %v\nbefore:\n%safter:\n%s", seed, t0, err, before.CompactZeroOne(), g.CompactZeroOne())
+				}
+			}
+		}
+	}
+}
+
+func TestLemma3OnEvenRowSorts(t *testing.T) {
+	s := sched.NewRowMajorRowFirst(6, 6)
+	for seed := uint64(100); seed < 200; seed++ {
+		g := randomZeroOne(seed, 6, 6)
+		for t0 := 1; t0 <= 16; t0++ {
+			before := g.Clone()
+			engine.ApplyStep(g, s.Step(t0))
+			if t0%4 == 3 {
+				if err := CheckLemma3(before, g); err != nil {
+					t.Fatalf("seed %d step %d: %v\nbefore:\n%safter:\n%s", seed, t0, err, before.CompactZeroOne(), g.CompactZeroOne())
+				}
+			}
+		}
+	}
+}
+
+func TestLemmas5Through8SnakeA(t *testing.T) {
+	// Run snake-a on random 0-1 meshes and verify, for every cycle i:
+	// Z2(i) >= Z1(i), Z3(i) >= Z2(i), Z4(i) >= Z3(i)−1, Z1(i+1) >= Z4(i).
+	for _, side := range []int{4, 6, 8, 5, 7} { // appendix covers odd sides
+		s := sched.NewSnakeA(side, side)
+		for seed := uint64(0); seed < 40; seed++ {
+			g := randomZeroOne(seed*31+uint64(side), side, side)
+			var z1, z2, z3, z4, prevZ4 int
+			havePrev := false
+			for t0 := 1; t0 <= 10*4; t0++ {
+				engine.ApplyStep(g, s.Step(t0))
+				switch t0 % 4 {
+				case 1:
+					z1 = SnakeZ1(g)
+					if havePrev && z1 < prevZ4 {
+						t.Fatalf("side %d seed %d t %d: lemma 8 violated: Z1=%d < Z4=%d", side, seed, t0, z1, prevZ4)
+					}
+				case 2:
+					z2 = SnakeZ2(g)
+					if z2 < z1 {
+						t.Fatalf("side %d seed %d t %d: lemma 5 violated: Z2=%d < Z1=%d", side, seed, t0, z2, z1)
+					}
+				case 3:
+					z3 = SnakeZ3(g)
+					if z3 < z2 {
+						t.Fatalf("side %d seed %d t %d: lemma 6 violated: Z3=%d < Z2=%d", side, seed, t0, z3, z2)
+					}
+				case 0:
+					z4 = SnakeZ4(g)
+					if z4 < z3-1 {
+						t.Fatalf("side %d seed %d t %d: lemma 7 violated: Z4=%d < Z3−1=%d", side, seed, t0, z4, z3-1)
+					}
+					prevZ4, havePrev = z4, true
+				}
+			}
+		}
+	}
+}
+
+func TestLemma10SnakeB(t *testing.T) {
+	// Y2(i) >= Y1(i); Y3(i) >= Y2(i)−1; Y1(i+1) >= Y3(i).
+	for _, side := range []int{4, 6, 8} {
+		s := sched.NewSnakeB(side, side)
+		for seed := uint64(0); seed < 40; seed++ {
+			g := randomZeroOne(seed*17+uint64(side), side, side)
+			var y1, y2, y3, prevY3 int
+			havePrev := false
+			for t0 := 1; t0 <= 10*4; t0++ {
+				engine.ApplyStep(g, s.Step(t0))
+				switch t0 % 4 {
+				case 1:
+					y1 = SnakeY1(g)
+					if havePrev && y1 < prevY3 {
+						t.Fatalf("side %d seed %d t %d: lemma 10c violated: Y1=%d < Y3=%d", side, seed, t0, y1, prevY3)
+					}
+				case 3:
+					y2 = SnakeY2(g)
+					if y2 < y1 {
+						t.Fatalf("side %d seed %d t %d: lemma 10a violated: Y2=%d < Y1=%d", side, seed, t0, y2, y1)
+					}
+				case 0:
+					y3 = SnakeY3(g)
+					if y3 < y2-1 {
+						t.Fatalf("side %d seed %d t %d: lemma 10b violated: Y3=%d < Y2−1=%d", side, seed, t0, y3, y2-1)
+					}
+					prevY3, havePrev = y3, true
+				}
+			}
+		}
+	}
+}
+
+func TestBlockCanonicalExhaustive(t *testing.T) {
+	// Apply the actual first two steps of rm-cf to every possible 2x2
+	// block standing alone as a mesh; result must equal BlockCanonical.
+	s := sched.NewRowMajorColFirst(2, 2)
+	for mask := 0; mask < 16; mask++ {
+		b := [4]int{mask & 1, (mask >> 1) & 1, (mask >> 2) & 1, (mask >> 3) & 1}
+		g := grid.FromValues(2, 2, b[:])
+		engine.ApplyStep(g, s.Step(1))
+		engine.ApplyStep(g, s.Step(2))
+		got := [4]int{g.At(0, 0), g.At(0, 1), g.At(1, 0), g.At(1, 1)}
+		if got != BlockCanonical(b) {
+			t.Fatalf("block %v: got %v, want %v", b, got, BlockCanonical(b))
+		}
+	}
+}
+
+func TestCheckBlockMappingOnRandomMeshes(t *testing.T) {
+	s := sched.NewRowMajorColFirst(8, 8)
+	for seed := uint64(0); seed < 100; seed++ {
+		g := randomZeroOne(seed, 8, 8)
+		initial := g.Clone()
+		engine.ApplyStep(g, s.Step(1))
+		engine.ApplyStep(g, s.Step(2))
+		if err := CheckBlockMapping(initial, g); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCheckBlockMappingRejectsOddDims(t *testing.T) {
+	g := grid.New(3, 4)
+	if err := CheckBlockMapping(g, g.Clone()); err == nil {
+		t.Fatal("odd dims accepted")
+	}
+}
+
+func TestCheckLemmaErrorPaths(t *testing.T) {
+	// Construct violating pairs to confirm the checkers actually detect
+	// violations (not just return nil).
+	before := grid.FromRows([][]int{{0, 1}, {0, 1}})
+	afterBad := grid.FromRows([][]int{{1, 1}, {1, 1}})
+	if err := CheckLemma1(before, afterBad); err == nil {
+		t.Fatal("lemma 1 checker accepted a violation")
+	}
+	if err := CheckLemma2(grid.FromRows([][]int{{0, 0}, {0, 0}}), afterBad); err == nil {
+		t.Fatal("lemma 2 checker accepted a violation")
+	}
+	if err := CheckLemma3(grid.FromRows([][]int{{0, 0, 0, 0}, {0, 0, 0, 0}}),
+		grid.FromRows([][]int{{1, 1, 1, 1}, {1, 1, 1, 1}})); err == nil {
+		t.Fatal("lemma 3 checker accepted a violation")
+	}
+}

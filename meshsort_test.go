@@ -1,0 +1,70 @@
+package meshsort
+
+import "testing"
+
+func TestFacadeSort(t *testing.T) {
+	for _, a := range Algorithms() {
+		g := RandomMesh(1, 8)
+		res, err := Sort(g, a, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if !res.Sorted || !g.IsSorted(a.Order()) {
+			t.Fatalf("%v did not sort", a)
+		}
+	}
+}
+
+func TestFacadeStepsToSort(t *testing.T) {
+	g := RandomMesh(2, 8)
+	ref := g.Clone()
+	steps, err := StepsToSort(g, SnakeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps <= 0 || !g.Equal(ref) {
+		t.Fatalf("steps=%d mutated=%v", steps, !g.Equal(ref))
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if g := RandomZeroOneMesh(3, 6, 10); g.CountValue(0) != 10 {
+		t.Fatal("RandomZeroOneMesh zero count wrong")
+	}
+	w := WorstCaseMesh(6)
+	if w.ColumnZeroCount(0) != 6 || w.CountValue(0) != 6 {
+		t.Fatal("WorstCaseMesh shape wrong")
+	}
+	if m := NewMesh(2, 3); m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatal("NewMesh dims wrong")
+	}
+	if v := FromValues(1, 2, []int{5, 6}); v.At(0, 1) != 6 {
+		t.Fatal("FromValues wrong")
+	}
+}
+
+func TestFacadeAlgorithmByName(t *testing.T) {
+	a, err := AlgorithmByName("snake-c")
+	if err != nil || a != SnakeC {
+		t.Fatalf("got %v, %v", a, err)
+	}
+	if _, err := AlgorithmByName("nope"); err == nil {
+		t.Fatal("bad name accepted")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) != 17 {
+		t.Fatalf("suite has %d experiments", len(Experiments()))
+	}
+	out, err := RunExperiment("E12", ExperimentConfig{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.OK {
+		t.Fatalf("E12 failed: %v", out.Notes)
+	}
+	if _, err := RunExperiment("E99", ExperimentConfig{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
