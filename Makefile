@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench experiments experiments-quick lemmas fmt vet cover
+.PHONY: all build test test-race bench bench-batch experiments experiments-quick lemmas fmt vet cover
 
 all: build vet test
 
@@ -17,6 +17,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable speedup record for the batched trial engine and the
+# bit-packed 0-1 kernel (writes BENCH_batch.json at the repo root).
+bench-batch:
+	$(GO) run ./cmd/benchbatch -out BENCH_batch.json
 
 experiments:
 	$(GO) run ./cmd/experiments

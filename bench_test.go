@@ -7,10 +7,12 @@ import (
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/grid"
+	"repro/internal/mcbatch"
 	"repro/internal/procmesh"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/workload"
+	"repro/internal/zeroone"
 )
 
 // ---------------------------------------------------------------------------
@@ -170,6 +172,110 @@ func BenchmarkProcMesh(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Batched trial engine: the historical per-trial loop (rebuild the schedule
+// from scratch every trial, run it single-threaded) against mcbatch.Run
+// (shared compiled schedule, trial-level worker pool). Same seeds, same
+// trials, identical step counts either way — only the driver changes.
+// ---------------------------------------------------------------------------
+
+// legacySortTrial reproduces the pre-batching per-trial code path exactly
+// as the seed shipped it (see git history of internal/engine): the
+// schedule is rebuilt for every trial, each step's comparators are fetched
+// through the Schedule.Step(t) interface call, and completion is tracked
+// through the Tracker interface, paying a dynamic dispatch per swap.
+func legacySortTrial(alg Algorithm, side int, src rng.Source) (int, error) {
+	g := workload.RandomPermutation(src, side, side)
+	s, err := sched.ByName(alg.ShortName(), side, side)
+	if err != nil {
+		return 0, err
+	}
+	tr := grid.Tracker(grid.NewTracker(g, s.Order()))
+	if tr.Sorted() {
+		return 0, nil
+	}
+	maxSteps := engine.DefaultMaxSteps(side, side)
+	for t := 1; t <= maxSteps; t++ {
+		delta := 0
+		for _, cmp := range s.Step(t) {
+			lo, hi := int(cmp.Lo), int(cmp.Hi)
+			if g.AtFlat(lo) > g.AtFlat(hi) {
+				g.SwapFlat(lo, hi)
+				delta += tr.Delta(g, lo, hi)
+			}
+		}
+		tr.Apply(delta)
+		if tr.Sorted() {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("legacy loop: %s did not sort within %d steps", alg.ShortName(), maxSteps)
+}
+
+func BenchmarkBatchedTrials(b *testing.B) {
+	const side, trials, seed = 32, 64, 7
+	alg := SnakeA
+	b.Run("legacy-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for trial := 0; trial < trials; trial++ {
+				src := rng.NewStream(seed, mcbatch.DefaultStream(alg, side)(trial))
+				if _, err := legacySortTrial(alg, side, src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*trials), "ns/trial")
+	})
+	b.Run("mcbatch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mcbatch.Run(mcbatch.Spec{
+				Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*trials), "ns/trial")
+	})
+}
+
+// BenchmarkZeroOnePacked compares the scalar engine against the bit-packed
+// 0-1 kernel on the same half-ones grids. Both produce identical Result
+// structs and final grids (see the engine differential suite); the packed
+// path processes 64 cells per word operation.
+func BenchmarkZeroOnePacked(b *testing.B) {
+	for _, side := range []int{32, 64} {
+		src := rng.New(17)
+		inputs := make([]*Grid, 8)
+		for i := range inputs {
+			inputs[i] = workload.HalfZeroOne(src, side, side)
+		}
+		s, err := sched.Cached("snake-a", side, side)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps, err := zeroone.CachedPacked("snake-a", side, side)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("scalar/side%d", side), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := inputs[i%len(inputs)].Clone()
+				if _, err := engine.Run(g, s, engine.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("packed/side%d", side), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				g := inputs[i%len(inputs)].Clone()
+				if _, err := zeroone.SortPacked(g, ps, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkStepApplication measures raw comparator throughput for one step.

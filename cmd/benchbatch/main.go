@@ -1,0 +1,234 @@
+// Command benchbatch measures the two headline speedups of the batched
+// Monte-Carlo trial engine and writes them as machine-readable JSON
+// (BENCH_batch.json at the repo root, via `make bench-batch`):
+//
+//   - batched: the historical per-trial loop (schedule rebuilt every
+//     trial, Step(t) fetched through the interface, tracker dispatched
+//     per swap) against mcbatch.Run on the same seeds and trials.
+//   - zeroone: the scalar engine against the bit-packed 0-1 kernel on
+//     identical half-ones grids.
+//
+// Arms are interleaved rep by rep and the per-arm minimum is reported, so
+// a background load spike degrades both arms of a rep rather than biasing
+// one side.
+//
+// Usage:
+//
+//	benchbatch [-out BENCH_batch.json] [-reps 5] [-trials 64]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	meshsort "repro"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/mcbatch"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+	"repro/internal/zeroone"
+)
+
+type batchedResult struct {
+	Algorithm        string  `json:"algorithm"`
+	Side             int     `json:"side"`
+	Trials           int     `json:"trials"`
+	Seed             uint64  `json:"seed"`
+	Reps             int     `json:"reps"`
+	LegacyNsPerTrial float64 `json:"legacy_ns_per_trial"`
+	BatchNsPerTrial  float64 `json:"mcbatch_ns_per_trial"`
+	Speedup          float64 `json:"speedup"`
+}
+
+type zeroOneResult struct {
+	Side           int     `json:"side"`
+	Inputs         int     `json:"inputs"`
+	Reps           int     `json:"reps"`
+	ScalarNsPerRun float64 `json:"scalar_ns_per_run"`
+	PackedNsPerRun float64 `json:"packed_ns_per_run"`
+	Speedup        float64 `json:"speedup"`
+}
+
+type report struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Batched     batchedResult   `json:"batched"`
+	ZeroOne     []zeroOneResult `json:"zeroone"`
+}
+
+// legacySortTrial reproduces the pre-batching per-trial code path exactly
+// as the seed shipped it: rebuild the schedule every trial, fetch each
+// step's comparators through the Schedule.Step(t) interface call, and pay
+// a Tracker interface dispatch per swap.
+func legacySortTrial(alg meshsort.Algorithm, side int, src rng.Source) (int, error) {
+	g := workload.RandomPermutation(src, side, side)
+	s, err := sched.ByName(alg.ShortName(), side, side)
+	if err != nil {
+		return 0, err
+	}
+	tr := grid.Tracker(grid.NewTracker(g, s.Order()))
+	if tr.Sorted() {
+		return 0, nil
+	}
+	maxSteps := engine.DefaultMaxSteps(side, side)
+	for t := 1; t <= maxSteps; t++ {
+		delta := 0
+		for _, cmp := range s.Step(t) {
+			lo, hi := int(cmp.Lo), int(cmp.Hi)
+			if g.AtFlat(lo) > g.AtFlat(hi) {
+				g.SwapFlat(lo, hi)
+				delta += tr.Delta(g, lo, hi)
+			}
+		}
+		tr.Apply(delta)
+		if tr.Sorted() {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("legacy loop: %s did not sort within %d steps", alg.ShortName(), maxSteps)
+}
+
+func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, error) {
+	alg := meshsort.SnakeA
+	stream := mcbatch.DefaultStream(alg, side)
+	legacyBest, batchBest := time.Duration(1<<62), time.Duration(1<<62)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for trial := 0; trial < trials; trial++ {
+			if _, err := legacySortTrial(alg, side, rng.NewStream(seed, stream(trial))); err != nil {
+				return batchedResult{}, err
+			}
+		}
+		if d := time.Since(start); d < legacyBest {
+			legacyBest = d
+		}
+		start = time.Now()
+		if _, err := mcbatch.Run(mcbatch.Spec{
+			Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+		}); err != nil {
+			return batchedResult{}, err
+		}
+		if d := time.Since(start); d < batchBest {
+			batchBest = d
+		}
+	}
+	legacy := float64(legacyBest.Nanoseconds()) / float64(trials)
+	batch := float64(batchBest.Nanoseconds()) / float64(trials)
+	return batchedResult{
+		Algorithm:        alg.ShortName(),
+		Side:             side,
+		Trials:           trials,
+		Seed:             seed,
+		Reps:             reps,
+		LegacyNsPerTrial: legacy,
+		BatchNsPerTrial:  batch,
+		Speedup:          legacy / batch,
+	}, nil
+}
+
+func measureZeroOne(reps, side int) (zeroOneResult, error) {
+	const inputs = 8
+	src := rng.New(17)
+	grids := make([]*meshsort.Grid, inputs)
+	for i := range grids {
+		grids[i] = workload.HalfZeroOne(src, side, side)
+	}
+	s, err := sched.Cached("snake-a", side, side)
+	if err != nil {
+		return zeroOneResult{}, err
+	}
+	ps, err := zeroone.CachedPacked("snake-a", side, side)
+	if err != nil {
+		return zeroOneResult{}, err
+	}
+	scalarBest, packedBest := time.Duration(1<<62), time.Duration(1<<62)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for _, in := range grids {
+			if _, err := engine.Run(in.Clone(), s, engine.Options{}); err != nil {
+				return zeroOneResult{}, err
+			}
+		}
+		if d := time.Since(start); d < scalarBest {
+			scalarBest = d
+		}
+		start = time.Now()
+		for _, in := range grids {
+			if _, err := zeroone.SortPacked(in.Clone(), ps, 0); err != nil {
+				return zeroOneResult{}, err
+			}
+		}
+		if d := time.Since(start); d < packedBest {
+			packedBest = d
+		}
+	}
+	scalar := float64(scalarBest.Nanoseconds()) / float64(inputs)
+	packed := float64(packedBest.Nanoseconds()) / float64(inputs)
+	return zeroOneResult{
+		Side:           side,
+		Inputs:         inputs,
+		Reps:           reps,
+		ScalarNsPerRun: scalar,
+		PackedNsPerRun: packed,
+		Speedup:        scalar / packed,
+	}, nil
+}
+
+func main() {
+	var (
+		out    = flag.String("out", "BENCH_batch.json", "output file ('-' for stdout)")
+		reps   = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
+		trials = flag.Int("trials", 64, "Monte-Carlo trials per batched rep")
+	)
+	flag.Parse()
+	if *reps < 1 || *trials < 1 {
+		fmt.Fprintf(os.Stderr, "benchbatch: -reps and -trials must be >= 1 (got %d, %d)\n", *reps, *trials)
+		os.Exit(2)
+	}
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	batched, err := measureBatched(*reps, *trials, 32, 7)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	rep.Batched = batched
+
+	for _, side := range []int{32, 64} {
+		zo, err := measureZeroOne(*reps, side)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchbatch:", err)
+			os.Exit(1)
+		}
+		rep.ZeroOne = append(rep.ZeroOne, zo)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbatch:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: batched %.2fx, zero-one %.2fx (side 32) / %.2fx (side 64)\n",
+		*out, rep.Batched.Speedup, rep.ZeroOne[0].Speedup, rep.ZeroOne[1].Speedup)
+}

@@ -8,6 +8,11 @@
 //	experiments -run E08,E09       # selected experiments
 //	experiments -quick             # reduced sizes/trials (seconds)
 //	experiments -format markdown   # markdown tables for EXPERIMENTS.md
+//	experiments -trialworkers 8    # size of the Monte-Carlo trial pool
+//
+// Monte-Carlo sweeps run on the batched trial engine (internal/mcbatch):
+// each trial derives a private PCG stream from (seed, trial index), so
+// every table is bit-identical for any -trialworkers value.
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		format  = flag.String("format", "table", "output format: table, markdown, csv")
 		workers = flag.Int("workers", 0, "parallel workers per run (0 = sequential)")
+		trialW  = flag.Int("trialworkers", 0, "trial-level worker pool size for Monte-Carlo sweeps (0 = GOMAXPROCS); results are identical for every value")
 		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
@@ -51,7 +57,7 @@ func main() {
 		}
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, TrialWorkers: *trialW}
 	failed := 0
 	for _, e := range todo {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)

@@ -110,9 +110,12 @@ func (a Algorithm) Order() grid.Order {
 	}
 }
 
-// Schedule builds the comparator schedule of a for an R×C mesh.
+// Schedule returns the compiled comparator schedule of a for an R×C mesh.
+// Schedules are built once per (algorithm, rows, cols) and shared
+// read-only across all subsequent calls, so per-trial Sort calls in a
+// Monte-Carlo batch do not pay the construction cost again.
 func (a Algorithm) Schedule(rows, cols int) sched.Schedule {
-	s, err := sched.ByName(a.ShortName(), rows, cols)
+	s, err := sched.Cached(a.ShortName(), rows, cols)
 	if err != nil {
 		panic(err) // unreachable: every Algorithm has a schedule
 	}

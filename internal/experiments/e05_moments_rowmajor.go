@@ -36,17 +36,32 @@ func init() {
 
 // sampleZ1RowFirst draws random half-zero meshes, applies the first row
 // sorting step of rm-rf, and returns the observed Z₁ (zeroes in column 1)
-// and M statistics.
-func sampleZ1RowFirst(cfg Config, side, trials int) (z1s, ms []int) {
-	s := sched.NewRowMajorRowFirst(side, side)
-	src := rng.NewStream(cfg.seed(), 0xE05<<16|uint64(side))
-	for i := 0; i < trials; i++ {
-		g := workload.HalfZeroOne(src, side, side)
-		engine.ApplyStep(g, s.Step(1))
-		z1s = append(z1s, zeroone.Z1FirstColumnZeroes(g))
-		ms = append(ms, zeroone.M(g))
+// and M statistics. Trials run on the mcbatch pool; each derives its own
+// stream from (seed, side, trial), so the sample is deterministic under
+// any worker count.
+func sampleZ1RowFirst(cfg Config, side, trials int) (z1s, ms []int, err error) {
+	s, err := sched.Cached("rm-rf", side, side)
+	if err != nil {
+		return nil, nil, err
 	}
-	return z1s, ms
+	step1 := s.Step(1)
+	type sample struct{ z1, m int }
+	out, err := mapTrials(cfg, trials, func(i int) (sample, error) {
+		src := rng.NewStream(cfg.seed(), 0xE05<<32|uint64(side)<<16|uint64(i))
+		g := workload.HalfZeroOne(src, side, side)
+		engine.ApplyStep(g, step1)
+		return sample{zeroone.Z1FirstColumnZeroes(g), zeroone.M(g)}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	z1s = make([]int, trials)
+	ms = make([]int, trials)
+	for i, s := range out {
+		z1s[i] = s.z1
+		ms[i] = s.m
+	}
+	return z1s, ms, nil
 }
 
 func runE05(cfg Config) (*Outcome, error) {
@@ -58,7 +73,10 @@ func runE05(cfg Config) (*Outcome, error) {
 		"side", "n", "E[Z₁] exact", "mean Z₁", "ci95", "E[M] bound", "mean M", "mean M ≥ bound")
 	for _, side := range sides {
 		n := side / 2
-		z1s, ms := sampleZ1RowFirst(cfg, side, trials)
+		z1s, ms, err := sampleZ1RowFirst(cfg, side, trials)
+		if err != nil {
+			return nil, err
+		}
 		zs := stats.SummarizeInts(z1s)
 		msum := stats.SummarizeInts(ms)
 		exact := analysis.Float(analysis.EZ1RowFirstExact(n))
@@ -82,7 +100,10 @@ func runE06(cfg Config) (*Outcome, error) {
 		"side", "n", "Var exact", "Var printed", "sample Var", "Var/n", "3/8")
 	for _, side := range sides {
 		n := side / 2
-		z1s, _ := sampleZ1RowFirst(cfg, side, trials)
+		z1s, _, err := sampleZ1RowFirst(cfg, side, trials)
+		if err != nil {
+			return nil, err
+		}
 		zs := stats.SummarizeInts(z1s)
 		exact := analysis.Float(analysis.VarZ1RowFirstExact(n))
 		printed := analysis.Float(analysis.PaperVarZ1RowFirst(n))
@@ -107,21 +128,27 @@ func runE07(cfg Config) (*Outcome, error) {
 	blockChecks := 0
 	for _, side := range sides {
 		n := side / 2
-		s := sched.NewRowMajorColFirst(side, side)
-		src := rng.NewStream(cfg.seed(), 0xE07<<16|uint64(side))
-		var z1s []int
-		for i := 0; i < trials; i++ {
+		s, err := sched.Cached("rm-cf", side, side)
+		if err != nil {
+			return nil, err
+		}
+		step1, step2 := s.Step(1), s.Step(2)
+		z1s, err := mapTrials(cfg, trials, func(i int) (int, error) {
+			src := rng.NewStream(cfg.seed(), 0xE07<<32|uint64(side)<<16|uint64(i))
 			g := workload.HalfZeroOne(src, side, side)
 			initial := g.Clone()
-			engine.ApplyStep(g, s.Step(1))
-			engine.ApplyStep(g, s.Step(2))
+			engine.ApplyStep(g, step1)
+			engine.ApplyStep(g, step2)
 			// Every trial doubles as a block-mapping check.
 			if err := zeroone.CheckBlockMapping(initial, g); err != nil {
-				return nil, err
+				return 0, err
 			}
-			blockChecks++
-			z1s = append(z1s, g.ColumnZeroCount(0))
+			return g.ColumnZeroCount(0), nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		blockChecks += trials
 		zs := stats.SummarizeInts(z1s)
 		exactMean := float64(n) * analysis.Float(analysis.Ez1ColFirstExact(n))
 		exactVar := analysis.Float(analysis.VarZ1ColFirstExact(n))

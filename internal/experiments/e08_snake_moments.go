@@ -37,18 +37,18 @@ func init() {
 }
 
 // sampleSnakeStat applies the first step of schedule s to random half-zero
-// meshes and returns the statistic samples.
+// meshes and returns the statistic samples. Trials shard over the mcbatch
+// pool with a per-trial stream derived from (seed, salt, side, trial).
 func sampleSnakeStat(cfg Config, build func(int, int) sched.Schedule,
-	stat func(*grid.Grid) int, side, trials int, salt uint64) []int {
-	s := build(side, side)
-	src := rng.NewStream(cfg.seed(), salt<<16|uint64(side))
-	out := make([]int, 0, trials)
-	for i := 0; i < trials; i++ {
+	stat func(*grid.Grid) int, side, trials int, salt uint64) ([]int, error) {
+	s := sched.Compile(build(side, side))
+	step1 := s.Step(1)
+	return mapTrials(cfg, trials, func(i int) (int, error) {
+		src := rng.NewStream(cfg.seed(), salt<<32|uint64(side)<<16|uint64(i))
 		g := workload.HalfZeroOne(src, side, side)
-		engine.ApplyStep(g, s.Step(1))
-		out = append(out, stat(g))
-	}
-	return out
+		engine.ApplyStep(g, step1)
+		return stat(g), nil
+	})
 }
 
 func runE08(cfg Config) (*Outcome, error) {
@@ -60,7 +60,10 @@ func runE08(cfg Config) (*Outcome, error) {
 	t := report.NewTable("Z₁(0) after the first step of snake-a (random 0-1 mesh)",
 		"side", "E[Z₁(0)] exact", "paper closed form", "mean Z₁(0)", "ci95")
 	for _, side := range sides {
-		z := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, statTrials, 0xE08)
+		z, err := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, statTrials, 0xE08)
+		if err != nil {
+			return nil, err
+		}
 		zs := stats.SummarizeInts(z)
 		exact := analysis.Float(analysis.EZ10SnakeAExact(side))
 		paper := analysis.Float(analysis.PaperEZ10SnakeA(side))
@@ -96,7 +99,10 @@ func runE09(cfg Config) (*Outcome, error) {
 		"side", "n", "Var exact", "Var printed (17/8n²+…)", "sample Var", "Var exact/n²")
 	for _, side := range sides {
 		n := side / 2
-		z := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, trials, 0xE09)
+		z, err := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, trials, 0xE09)
+		if err != nil {
+			return nil, err
+		}
 		zs := stats.SummarizeInts(z)
 		exact := analysis.Float(analysis.VarZ10SnakeAExact(side))
 		printed := analysis.Float(analysis.PaperVarZ10SnakeA(n))
@@ -145,7 +151,10 @@ func runE10(cfg Config) (*Outcome, error) {
 	t := report.NewTable("Y₁(0) after the first step of snake-b (random 0-1 mesh)",
 		"side", "E[Y₁(0)] exact", "paper closed form", "mean Y₁(0)", "ci95", "Var exact", "sample Var")
 	for _, side := range sides {
-		y := sampleSnakeStat(cfg, sched.NewSnakeB, zeroone.SnakeY1, side, statTrials, 0xE10)
+		y, err := sampleSnakeStat(cfg, sched.NewSnakeB, zeroone.SnakeY1, side, statTrials, 0xE10)
+		if err != nil {
+			return nil, err
+		}
 		ys := stats.SummarizeInts(y)
 		exact := analysis.Float(analysis.EY10SnakeBExact(side))
 		paper := analysis.Float(analysis.PaperEY10SnakeB(side))

@@ -32,27 +32,33 @@ func runE11(cfg Config) (*Outcome, error) {
 
 	for _, side := range sides {
 		cells := side * side
-		src := rng.NewStream(cfg.seed(), 0xE11<<16|uint64(side))
-		var steps []int
-		violations := 0
-		minSlack := 1 << 30
-		for i := 0; i < trials; i++ {
+		type trialOut struct{ steps, slack int }
+		out, err := mapTrials(cfg, trials, func(i int) (trialOut, error) {
+			src := rng.NewStream(cfg.seed(), 0xE11<<32|uint64(side)<<16|uint64(i))
 			g := workload.RandomPermutation(src, side, side)
-			// m = 1-indexed final-order (snake) rank of the initial cell of
-			// the smallest value.
+			// m = 1-indexed final-order (snake) rank of the initial cell
+			// of the smallest value.
 			r, c, _ := g.FindValue(1)
 			m := g.CellRank(grid.Snake, r, c) + 1
-			res, err := core.Sort(g, core.SnakeC, core.Options{Workers: cfg.Workers})
+			res, err := core.Sort(g, core.SnakeC, core.Options{})
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
 			}
-			steps = append(steps, res.Steps)
-			slack := res.Steps - (2*m - 3)
-			if slack < 0 {
+			return trialOut{steps: res.Steps, slack: res.Steps - (2*m - 3)}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		steps := make([]int, trials)
+		violations := 0
+		minSlack := 1 << 30
+		for i, to := range out {
+			steps[i] = to.steps
+			if to.slack < 0 {
 				violations++
 			}
-			if slack < minSlack {
-				minSlack = slack
+			if to.slack < minSlack {
+				minSlack = to.slack
 			}
 		}
 		sum := stats.SummarizeInts(steps)

@@ -29,7 +29,10 @@ func runE13(cfg Config) (*Outcome, error) {
 	t := report.NewTable("Z₁(0) after the first step of snake-a on odd meshes (α = 2n²+2n+1)",
 		"side", "E[Z₁(0)] exact", "Lemma 14 closed form", "mean Z₁(0)", "ci95")
 	for _, side := range sides {
-		z := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, statTrials, 0xE13)
+		z, err := sampleSnakeStat(cfg, sched.NewSnakeA, zeroone.SnakeZ1, side, statTrials, 0xE13)
+		if err != nil {
+			return nil, err
+		}
 		zs := stats.SummarizeInts(z)
 		exact := analysis.Float(analysis.EZ10SnakeAExact(side))
 		paper := analysis.Float(analysis.PaperEZ10SnakeAOdd(side))

@@ -27,9 +27,13 @@ type Config struct {
 	Quick bool
 	// Workers is passed to the engine for the experiments that run single
 	// long sorts (0/1 = sequential). Trial sweeps additionally parallelize
-	// across GOMAXPROCS goroutines with per-trial RNG streams, so results
-	// are identical regardless of parallelism.
+	// across the mcbatch worker pool with per-trial RNG streams, so
+	// results are identical regardless of parallelism.
 	Workers int
+	// TrialWorkers sizes the mcbatch trial-level worker pool (0 uses
+	// GOMAXPROCS). Any value produces identical results; it only changes
+	// wall-clock time.
+	TrialWorkers int
 }
 
 func (c Config) seed() uint64 {

@@ -1,16 +1,11 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
-	"repro/internal/rng"
+	"repro/internal/mcbatch"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // pick returns quick when cfg.Quick is set, full otherwise.
@@ -29,47 +24,32 @@ func pickInt(cfg Config, full, quick int) int {
 }
 
 // measureSteps runs algorithm a on `trials` random permutations of a
-// side×side mesh and returns the per-trial step counts. Trials execute
-// concurrently across GOMAXPROCS goroutines; each trial derives its own
-// PCG stream from (seed, side, algorithm, trial index), so the sample is
-// identical regardless of scheduling or worker count.
+// side×side mesh and returns the per-trial step counts. Trials are
+// sharded over the mcbatch worker pool; each trial derives its own PCG
+// stream from (seed, side, algorithm, trial index) — mcbatch.DefaultStream,
+// the scheme the recorded EXPERIMENTS.md tables were generated with — so
+// the sample is identical regardless of scheduling or worker count.
 func measureSteps(cfg Config, a core.Algorithm, side, trials int) ([]int, error) {
-	out := make([]int, trials)
-	errs := make([]error, trials)
+	batch, err := mcbatch.Run(mcbatch.Spec{
+		Algorithm: a,
+		Rows:      side,
+		Cols:      side,
+		Trials:    trials,
+		Seed:      cfg.seed(),
+		Workers:   cfg.TrialWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return batch.StepCounts(), nil
+}
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > trials {
-		workers = trials
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1))
-				if i >= trials {
-					return
-				}
-				src := rng.NewStream(cfg.seed(), uint64(side)<<20|uint64(a)<<16|uint64(i))
-				g := workload.RandomPermutation(src, side, side)
-				res, err := core.Sort(g, a, core.Options{})
-				if err != nil {
-					errs[i] = fmt.Errorf("%s side %d trial %d: %w", a.ShortName(), side, i, err)
-					return
-				}
-				out[i] = res.Steps
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+// mapTrials shards `trials` independent trial closures over the mcbatch
+// worker pool, returning the results in trial order. fn must derive all
+// randomness from its trial index (per-trial streams) so the outcome is
+// deterministic under any worker count.
+func mapTrials[T any](cfg Config, trials int, fn func(i int) (T, error)) ([]T, error) {
+	return mcbatch.Map(cfg.TrialWorkers, trials, fn)
 }
 
 // meanWithin reports whether the sample mean is within k standard errors

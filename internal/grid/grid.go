@@ -118,6 +118,13 @@ func (g *Grid) SetFlat(i, v int) { g.cells[i] = v }
 // SwapFlat exchanges the values at flat indices i and j.
 func (g *Grid) SwapFlat(i, j int) { g.cells[i], g.cells[j] = g.cells[j], g.cells[i] }
 
+// Cells returns the grid's backing storage in flat (row-major) order.
+// Mutating the returned slice mutates the grid. The hot executor loops in
+// internal/engine read it once per step so the compiler can keep the slice
+// header in registers instead of re-loading it through the Grid pointer on
+// every comparator.
+func (g *Grid) Cells() []int { return g.cells }
+
 // Values returns a copy of the cell values in row-major order.
 func (g *Grid) Values() []int {
 	out := make([]int, len(g.cells))

@@ -95,6 +95,11 @@ func (t *DistinctTracker) Delta(g *Grid, i, j int) int {
 	return d
 }
 
+// Home exposes the tracker's read-only tables for fused executor loops:
+// home[v-min] is the flat cell where value v belongs. The slice must not
+// be modified.
+func (t *DistinctTracker) Home() (home []int, min int) { return t.home, t.min }
+
 // Apply implements Tracker.
 func (t *DistinctTracker) Apply(delta int) { t.misplaced += delta }
 
@@ -160,6 +165,11 @@ func (t *ZeroOneTracker) Delta(g *Grid, i, j int) int {
 	}
 	return -1
 }
+
+// ZeroRegion exposes the tracker's read-only region table for fused
+// executor loops: element i reports whether flat cell i lies in the
+// first-alpha-ranks zero region. The slice must not be modified.
+func (t *ZeroOneTracker) ZeroRegion() []bool { return t.inZeroRegion }
 
 // Apply implements Tracker.
 func (t *ZeroOneTracker) Apply(delta int) { t.onesInRegion += delta }

@@ -1,0 +1,206 @@
+// Package mcbatch is the batched Monte-Carlo trial engine behind the
+// experiment harness. Every quantitative claim reproduced from the paper
+// (E[steps], variances, Chebyshev tails) is estimated by running K
+// independent trials on random inputs; this package makes that trial loop
+// the optimized subsystem:
+//
+//   - Schedules are compiled once per (algorithm, rows, cols) and shared
+//     read-only across all trials (sched.Cached), so no trial pays the
+//     construction cost or the per-step Step(t) interface dispatch.
+//   - Trials are sharded over a pool of worker goroutines. Each trial
+//     derives its own PCG stream from (master seed, trial index), so the
+//     sample — and therefore every derived statistic — is bit-identical
+//     under any worker count, including Workers=1.
+//   - Per-trial statistics stream into a Welford accumulator, folded in
+//     trial-index order so the floating-point aggregate is deterministic.
+//   - 0-1 workloads can opt into the bit-packed kernel (zeroone.SortPacked),
+//     which applies a whole step's disjoint comparators with bitwise
+//     min/max operations, 64 cells per word.
+package mcbatch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/zeroone"
+)
+
+// Map runs fn(0..n-1) across a pool of `workers` goroutines (0 means
+// GOMAXPROCS) and returns the results in index order. Work is handed out
+// by an atomic counter, so any worker may run any index — determinism is
+// the callback's job: fn must depend only on its index (the per-trial RNG
+// stream discipline). If several calls fail, the error of the smallest
+// index is returned, so the reported failure is also deterministic.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Spec describes one batch of independent sorting trials.
+type Spec struct {
+	// Algorithm selects the schedule.
+	Algorithm core.Algorithm
+	// Rows, Cols are the mesh dimensions.
+	Rows, Cols int
+	// Trials is the number of independent trials, K.
+	Trials int
+	// Seed is the master seed; every trial derives its own PCG stream
+	// from (Seed, Stream(trial)).
+	Seed uint64
+	// Stream maps a trial index to its RNG stream id. Nil uses
+	// DefaultStream(Algorithm, Rows).
+	Stream func(trial int) uint64
+	// Gen builds the input grid of one trial from its private source.
+	// Nil draws a uniformly random permutation of 1..Rows·Cols.
+	Gen func(src rng.Source, trial int) *grid.Grid
+	// Workers is the size of the trial-level worker pool; 0 uses
+	// GOMAXPROCS. Results are identical for every value.
+	Workers int
+	// MaxSteps caps each trial; 0 uses engine.DefaultMaxSteps.
+	MaxSteps int
+	// ZeroOne routes trials through the bit-packed 0-1 kernel. Gen must
+	// then produce grids holding only 0s and 1s.
+	ZeroOne bool
+}
+
+// DefaultStream is the harness's seeding scheme for square-mesh step
+// measurements: stream = side<<20 | algorithm<<16 | trial. It is part of
+// the recorded-experiment contract (EXPERIMENTS.md tables were generated
+// with it), so it must not change.
+func DefaultStream(a core.Algorithm, side int) func(trial int) uint64 {
+	return func(trial int) uint64 {
+		return uint64(side)<<20 | uint64(a)<<16 | uint64(trial)
+	}
+}
+
+// Trial is the outcome of one trial.
+type Trial struct {
+	Steps       int
+	Swaps       int64
+	Comparisons int64
+}
+
+// Batch is the outcome of a whole batch.
+type Batch struct {
+	// Trials holds the per-trial results in trial order.
+	Trials []Trial
+	// Steps aggregates the per-trial step counts, folded in trial order
+	// (deterministic under any worker count).
+	Steps stats.Welford
+}
+
+// StepCounts returns the per-trial step counts in trial order.
+func (b *Batch) StepCounts() []int {
+	out := make([]int, len(b.Trials))
+	for i, t := range b.Trials {
+		out[i] = t.Steps
+	}
+	return out
+}
+
+// Run executes the batch described by spec.
+func Run(spec Spec) (*Batch, error) {
+	if spec.Trials < 0 {
+		return nil, fmt.Errorf("mcbatch: negative trial count %d", spec.Trials)
+	}
+	if spec.Rows < 1 || spec.Cols < 1 {
+		return nil, fmt.Errorf("mcbatch: invalid mesh %dx%d", spec.Rows, spec.Cols)
+	}
+	stream := spec.Stream
+	if stream == nil {
+		stream = DefaultStream(spec.Algorithm, spec.Rows)
+	}
+	gen := spec.Gen
+	if gen == nil {
+		gen = func(src rng.Source, _ int) *grid.Grid {
+			return workload.RandomPermutation(src, spec.Rows, spec.Cols)
+		}
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	name := spec.Algorithm.ShortName()
+	var packed *zeroone.PackedSchedule
+	if spec.ZeroOne {
+		p, err := zeroone.CachedPacked(name, spec.Rows, spec.Cols)
+		if err != nil {
+			return nil, err
+		}
+		packed = p
+	} else {
+		// Warm the shared compiled-schedule cache before the pool starts,
+		// so workers never race to build it.
+		spec.Algorithm.Schedule(spec.Rows, spec.Cols)
+	}
+
+	runTrial := func(i int) (Trial, error) {
+		src := rng.NewStream(seed, stream(i))
+		g := gen(src, i)
+		if g.Rows() != spec.Rows || g.Cols() != spec.Cols {
+			return Trial{}, fmt.Errorf("mcbatch: Gen produced a %dx%d grid for a %dx%d batch",
+				g.Rows(), g.Cols(), spec.Rows, spec.Cols)
+		}
+		var res engine.Result
+		var err error
+		if packed != nil {
+			res, err = zeroone.SortPacked(g, packed, spec.MaxSteps)
+		} else {
+			res, err = core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps})
+		}
+		if err != nil {
+			return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
+		}
+		return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
+	}
+
+	trials, err := Map(spec.Workers, spec.Trials, runTrial)
+	if err != nil {
+		return nil, err
+	}
+	b := &Batch{Trials: trials}
+	for _, t := range trials {
+		b.Steps.AddInt(t.Steps)
+	}
+	return b, nil
+}

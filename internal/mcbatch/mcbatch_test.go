@@ -1,0 +1,169 @@
+package mcbatch
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// TestDeterminismAcrossWorkerCounts is the batched driver's core
+// guarantee: per-trial step counts AND the aggregated moments are
+// bit-identical for Workers=1 and Workers=8 under the same master seed.
+func TestDeterminismAcrossWorkerCounts(t *testing.T) {
+	specs := []Spec{
+		{Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 40, Seed: 11},
+		{Algorithm: core.RowMajorRowFirst, Rows: 8, Cols: 8, Trials: 40, Seed: 11},
+		{Algorithm: core.Shearsort, Rows: 6, Cols: 10, Trials: 25, Seed: 3},
+		{
+			Algorithm: core.SnakeB, Rows: 8, Cols: 8, Trials: 40, Seed: 11, ZeroOne: true,
+			Gen: func(src rng.Source, _ int) *grid.Grid {
+				return workload.HalfZeroOne(src, 8, 8)
+			},
+		},
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(fmt.Sprintf("%s-%dx%d-zeroone=%v", spec.Algorithm.ShortName(), spec.Rows, spec.Cols, spec.ZeroOne), func(t *testing.T) {
+			spec.Workers = 1
+			one, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Workers = 8
+			eight, err := Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(one.Trials, eight.Trials) {
+				t.Fatalf("per-trial results differ between Workers=1 and Workers=8:\n%v\nvs\n%v",
+					one.Trials, eight.Trials)
+			}
+			// The Welford fold happens in trial order, so the float
+			// aggregate must be exactly equal, not merely close.
+			if one.Steps != eight.Steps {
+				t.Fatalf("aggregate moments differ: %+v vs %+v", one.Steps, eight.Steps)
+			}
+		})
+	}
+}
+
+// TestMatchesLegacyPerTrialLoop locks the seeding scheme: the batch must
+// reproduce exactly what the historical sequential per-trial loop
+// produced (stream = side<<20 | alg<<16 | trial), because the recorded
+// EXPERIMENTS.md tables were generated with it.
+func TestMatchesLegacyPerTrialLoop(t *testing.T) {
+	const side, trials, seed = 8, 12, 5
+	alg := core.SnakeA
+	want := make([]int, trials)
+	for i := 0; i < trials; i++ {
+		src := rng.NewStream(seed, uint64(side)<<20|uint64(alg)<<16|uint64(i))
+		g := workload.RandomPermutation(src, side, side)
+		res, err := core.Sort(g, alg, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Steps
+	}
+	b, err := Run(Spec{Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.StepCounts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("batched steps %v != legacy loop steps %v", got, want)
+	}
+}
+
+// TestZeroOnePathMatchesScalarPath runs the same 0-1 batch through the
+// scalar engine and the bit-packed kernel: identical trials either way.
+func TestZeroOnePathMatchesScalarPath(t *testing.T) {
+	spec := Spec{
+		Algorithm: core.RowMajorColFirst, Rows: 10, Cols: 10, Trials: 30, Seed: 9,
+		Gen: func(src rng.Source, _ int) *grid.Grid {
+			return workload.HalfZeroOne(src, 10, 10)
+		},
+	}
+	scalar, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.ZeroOne = true
+	packed, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar.Trials, packed.Trials) {
+		t.Fatalf("scalar trials %v != packed trials %v", scalar.Trials, packed.Trials)
+	}
+	if scalar.Steps != packed.Steps {
+		t.Fatalf("aggregates differ: %+v vs %+v", scalar.Steps, packed.Steps)
+	}
+}
+
+func TestAggregateMatchesSample(t *testing.T) {
+	b, err := Run(Spec{Algorithm: core.SnakeC, Rows: 8, Cols: 8, Trials: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Steps.N() != 50 {
+		t.Fatalf("aggregate N = %d", b.Steps.N())
+	}
+	sum := 0
+	for _, s := range b.StepCounts() {
+		sum += s
+	}
+	mean := float64(sum) / 50
+	if d := b.Steps.Mean() - mean; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("Welford mean %v != plain mean %v", b.Steps.Mean(), mean)
+	}
+}
+
+func TestMapOrderAndErrors(t *testing.T) {
+	out, err := Map(4, 100, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	// The error of the smallest failing index wins, regardless of
+	// completion order.
+	wantErr := errors.New("trial 7 failed")
+	_, err = Map(8, 100, func(i int) (int, error) {
+		if i >= 7 {
+			return 0, fmt.Errorf("trial %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// Empty and single-trial batches.
+	if out, err := Map(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Fatalf("empty Map: %v %v", out, err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Spec{Algorithm: core.SnakeA, Rows: 0, Cols: 4, Trials: 1}); err == nil {
+		t.Fatal("invalid mesh accepted")
+	}
+	if _, err := Run(Spec{Algorithm: core.SnakeA, Rows: 4, Cols: 4, Trials: -1}); err == nil {
+		t.Fatal("negative trials accepted")
+	}
+	// A Gen producing the wrong shape must fail loudly, not corrupt.
+	_, err := Run(Spec{
+		Algorithm: core.SnakeA, Rows: 4, Cols: 4, Trials: 1,
+		Gen: func(src rng.Source, _ int) *grid.Grid { return grid.New(2, 2) },
+	})
+	if err == nil {
+		t.Fatal("mis-shaped Gen accepted")
+	}
+}

@@ -1,0 +1,105 @@
+package sched
+
+import (
+	"sync"
+
+	"repro/internal/grid"
+)
+
+// Phaser is implemented by schedules that can hand out one full period of
+// comparator slices at once, without going through Step(t) on the hot
+// path. All schedules in this package implement it; Compile falls back to
+// materializing via Step for foreign implementations.
+type Phaser interface {
+	// Phases returns the comparator sets of steps 1..Period() in order.
+	// The returned slice and its elements are shared and must not be
+	// modified.
+	Phases() [][]Comparator
+}
+
+// Compiled is a schedule materialized into one full period of comparator
+// slices. It implements Schedule (so it drops into every existing caller)
+// and Phaser (so the engine's step loop becomes an indexed lookup instead
+// of an interface call per step). A Compiled is immutable after
+// construction and safe to share across any number of concurrent trials.
+type Compiled struct {
+	name       string
+	order      grid.Order
+	rows, cols int
+	phases     [][]Comparator
+}
+
+// Compile materializes s. Compiling an already-Compiled schedule returns
+// it unchanged.
+func Compile(s Schedule) *Compiled {
+	if c, ok := s.(*Compiled); ok {
+		return c
+	}
+	r, c := s.Dims()
+	out := &Compiled{name: s.Name(), order: s.Order(), rows: r, cols: c}
+	if p, ok := s.(Phaser); ok {
+		out.phases = p.Phases()
+		return out
+	}
+	period := s.Period()
+	out.phases = make([][]Comparator, period)
+	for t := 1; t <= period; t++ {
+		out.phases[t-1] = s.Step(t)
+	}
+	return out
+}
+
+// Name implements Schedule.
+func (c *Compiled) Name() string { return c.name }
+
+// Order implements Schedule.
+func (c *Compiled) Order() grid.Order { return c.order }
+
+// Dims implements Schedule.
+func (c *Compiled) Dims() (int, int) { return c.rows, c.cols }
+
+// Period implements Schedule.
+func (c *Compiled) Period() int { return len(c.phases) }
+
+// Step implements Schedule by indexed lookup.
+func (c *Compiled) Step(t int) []Comparator {
+	return c.phases[(t-1)%len(c.phases)]
+}
+
+// Phases implements Phaser.
+func (c *Compiled) Phases() [][]Comparator { return c.phases }
+
+// PhasesOf returns one full period of s's comparator sets, without copying
+// when s supports it.
+func PhasesOf(s Schedule) [][]Comparator {
+	if p, ok := s.(Phaser); ok {
+		return p.Phases()
+	}
+	return Compile(s).Phases()
+}
+
+// cacheKey identifies one compiled schedule: every ByName-constructed
+// schedule is fully determined by (algorithm, rows, cols).
+type cacheKey struct {
+	name       string
+	rows, cols int
+}
+
+var compiledCache sync.Map // cacheKey -> *Compiled
+
+// Cached returns the compiled schedule of algorithm name on an R×C mesh,
+// building it at most once per process. The result is shared read-only
+// across all callers; this is what lets a batch of K Monte-Carlo trials
+// pay the schedule-construction cost once instead of K times.
+func Cached(name string, rows, cols int) (*Compiled, error) {
+	k := cacheKey{name, rows, cols}
+	if v, ok := compiledCache.Load(k); ok {
+		return v.(*Compiled), nil
+	}
+	s, err := ByName(name, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := compiledCache.LoadOrStore(k, Compile(s))
+	return v.(*Compiled), nil
+}

@@ -65,6 +65,9 @@ func (f *fixed) Step(t int) []Comparator {
 	return f.phases[(t-1)%len(f.phases)]
 }
 
+// Phases implements Phaser: the repeating per-step comparator sets.
+func (f *fixed) Phases() [][]Comparator { return f.phases }
+
 // rowSpec tells rowComparators what one row does during a row step.
 type rowSpec struct {
 	parity oet.Parity

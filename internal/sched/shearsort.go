@@ -62,3 +62,17 @@ func (s *shearsort) Step(t int) []Comparator {
 	}
 	return s.colPhases[(k-s.cols)%2]
 }
+
+// Phases implements Phaser: one full round laid out step by step. The
+// slices alias the four shared phase sets, so the cost is one pointer per
+// step.
+func (s *shearsort) Phases() [][]Comparator {
+	out := make([][]Comparator, 0, s.cols+s.rows)
+	for k := 0; k < s.cols; k++ {
+		out = append(out, s.rowPhases[k%2])
+	}
+	for k := 0; k < s.rows; k++ {
+		out = append(out, s.colPhases[k%2])
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package stats
+
+import "math"
+
+// Welford is a streaming mean/variance accumulator (Welford's online
+// algorithm). It lets the batched Monte-Carlo driver aggregate millions of
+// per-trial statistics without retaining the sample, and two accumulators
+// can be combined exactly with Merge (Chan et al.'s pairwise update).
+//
+// The zero value is an empty accumulator ready for use. Determinism note:
+// floating-point aggregation is order-sensitive, so callers that promise
+// bit-identical results across worker counts (internal/mcbatch) must fold
+// values in a fixed order — e.g. trial-index order — rather than in
+// completion order.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// AddInt folds one integer observation.
+func (w *Welford) AddInt(x int) { w.Add(float64(x)) }
+
+// Merge folds accumulator o into w as if every observation of o had been
+// Added to w (Chan/Golub/LeVeque parallel combination).
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased (n−1 denominator) sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 for an empty accumulator).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 for an empty accumulator).
+func (w *Welford) Max() float64 { return w.max }
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval for the mean.
+func (w *Welford) CI95() float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	return 1.96 * w.StdDev() / math.Sqrt(float64(w.n))
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8.5, -2.25}
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	s := Summarize(xs)
+	if w.N() != int64(s.N) {
+		t.Fatalf("N %d != %d", w.N(), s.N)
+	}
+	if math.Abs(w.Mean()-s.Mean) > 1e-12 {
+		t.Fatalf("mean %v != %v", w.Mean(), s.Mean)
+	}
+	if math.Abs(w.Variance()-s.Variance) > 1e-12 {
+		t.Fatalf("variance %v != %v", w.Variance(), s.Variance)
+	}
+	if w.Min() != s.Min || w.Max() != s.Max {
+		t.Fatalf("min/max %v/%v != %v/%v", w.Min(), w.Max(), s.Min, s.Max)
+	}
+	if math.Abs(w.CI95()-s.CI95()) > 1e-12 {
+		t.Fatalf("ci95 %v != %v", w.CI95(), s.CI95())
+	}
+}
+
+func TestWelfordMerge(t *testing.T) {
+	xs := []float64{2, 7, 1, 8, 2, 8, 1, 8, 2, 8, 4, 5, 9}
+	for split := 0; split <= len(xs); split++ {
+		var a, b, all Welford
+		for i, x := range xs {
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+			all.Add(x)
+		}
+		a.Merge(b)
+		if a.N() != all.N() {
+			t.Fatalf("split %d: N %d != %d", split, a.N(), all.N())
+		}
+		if math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+			t.Fatalf("split %d: mean %v != %v", split, a.Mean(), all.Mean())
+		}
+		if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+			t.Fatalf("split %d: variance %v != %v", split, a.Variance(), all.Variance())
+		}
+		if a.Min() != all.Min() || a.Max() != all.Max() {
+			t.Fatalf("split %d: min/max mismatch", split)
+		}
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.N() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	if !math.IsInf(w.CI95(), 1) {
+		t.Fatal("CI95 of empty sample should be +Inf")
+	}
+	w.AddInt(7)
+	if w.N() != 1 || w.Mean() != 7 || w.Variance() != 0 || w.Min() != 7 || w.Max() != 7 {
+		t.Fatalf("single observation: %+v", w)
+	}
+}

@@ -1,0 +1,380 @@
+package zeroone
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// The 0-1 principle lets every lemma check and most worst-case experiments
+// run on binary grids. On those, a compare-exchange is just a bitwise
+// min/max: after the comparator, the destination of the smaller value
+// holds AND of the two bits and the destination of the larger holds OR.
+// Because the comparators of one step are pairwise disjoint and — for
+// every schedule in internal/sched — fall into at most a few (offset,
+// direction) families per step (row pairs and wrap pairs are 1 apart in
+// flat index, column pairs are `cols` apart), a whole step collapses to a
+// handful of masked shift/AND/OR passes over a []uint64 bit array, 64
+// cells per word. SortPacked is verified bit-identical to the scalar
+// engine (grid, Steps, Swaps, Comparisons) by the differential tests.
+
+// PackedGrid stores a 0-1 grid one bit per cell (bit i of word i/64 is
+// flat cell i; 1 bits are cells holding value 1).
+type PackedGrid struct {
+	rows, cols int
+	words      []uint64
+}
+
+// Pack converts g (which must hold only 0s and 1s) to packed form.
+func Pack(g *grid.Grid) *PackedGrid {
+	requireZeroOne(g)
+	n := g.Len()
+	p := &PackedGrid{rows: g.Rows(), cols: g.Cols(), words: make([]uint64, (n+63)/64)}
+	for i := 0; i < n; i++ {
+		if g.AtFlat(i) == 1 {
+			p.words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return p
+}
+
+// Rows returns the number of rows.
+func (p *PackedGrid) Rows() int { return p.rows }
+
+// Cols returns the number of columns.
+func (p *PackedGrid) Cols() int { return p.cols }
+
+// Ones returns the number of cells holding 1.
+func (p *PackedGrid) Ones() int {
+	n := 0
+	for _, w := range p.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Bit returns the value (0 or 1) of flat cell i.
+func (p *PackedGrid) Bit(i int) int {
+	return int(p.words[i>>6] >> (uint(i) & 63) & 1)
+}
+
+// Unpack converts back to a regular grid.
+func (p *PackedGrid) Unpack() *grid.Grid {
+	g := grid.New(p.rows, p.cols)
+	p.UnpackInto(g)
+	return g
+}
+
+// UnpackInto writes the packed cells into g, which must have the same
+// dimensions.
+func (p *PackedGrid) UnpackInto(g *grid.Grid) {
+	if g.Rows() != p.rows || g.Cols() != p.cols {
+		panic(fmt.Sprintf("zeroone: UnpackInto %dx%d grid from %dx%d packed grid",
+			g.Rows(), g.Cols(), p.rows, p.cols))
+	}
+	for i := 0; i < p.rows*p.cols; i++ {
+		g.SetFlat(i, p.Bit(i))
+	}
+}
+
+// packedOp is one (offset, direction) family of a step's comparators: all
+// pairs (i, i+delta) whose lower flat cell is marked in mask. minAtLow
+// records whether the comparator sends the smaller value to the lower
+// flat index (forward rows, columns, wrap wires) or to the higher one
+// (reverse rows of the snakelike schedules).
+type packedOp struct {
+	delta    int
+	minAtLow bool
+	mask     []uint64 // bit set at the lower flat cell of each pair
+}
+
+// packedStep is one schedule step compiled to bitwise form.
+type packedStep struct {
+	ops         []packedOp
+	comparisons int64 // comparators in the step (matches the scalar count)
+}
+
+// PackedSchedule is a schedule compiled for the bit-packed kernel: one
+// full period of packedSteps, shared read-only across trials.
+type PackedSchedule struct {
+	name       string
+	order      grid.Order
+	rows, cols int
+	words      int
+	steps      []packedStep
+}
+
+// Name returns the underlying schedule's identifier.
+func (ps *PackedSchedule) Name() string { return ps.name }
+
+// Order returns the target ordering.
+func (ps *PackedSchedule) Order() grid.Order { return ps.order }
+
+// Dims returns the mesh dimensions.
+func (ps *PackedSchedule) Dims() (int, int) { return ps.rows, ps.cols }
+
+// Period returns the number of steps in one full period.
+func (ps *PackedSchedule) Period() int { return len(ps.steps) }
+
+// CompilePacked compiles s for the bit-packed kernel. Any schedule whose
+// steps consist of pairwise-disjoint comparators compiles; the per-step
+// family count is what determines speed (all schedules in internal/sched
+// compile to at most two families per step).
+func CompilePacked(s sched.Schedule) *PackedSchedule {
+	rows, cols := s.Dims()
+	n := rows * cols
+	words := (n + 63) / 64
+	phases := sched.PhasesOf(s)
+	ps := &PackedSchedule{
+		name: s.Name(), order: s.Order(),
+		rows: rows, cols: cols, words: words,
+		steps: make([]packedStep, len(phases)),
+	}
+	for si, comps := range phases {
+		st := &ps.steps[si]
+		st.comparisons = int64(len(comps))
+		type opKey struct {
+			delta    int
+			minAtLow bool
+		}
+		index := map[opKey]int{}
+		for _, cmp := range comps {
+			lo, hi := int(cmp.Lo), int(cmp.Hi)
+			low, high := lo, hi
+			if low > high {
+				low, high = high, low
+			}
+			k := opKey{delta: high - low, minAtLow: lo == low}
+			oi, ok := index[k]
+			if !ok {
+				oi = len(st.ops)
+				index[k] = oi
+				st.ops = append(st.ops, packedOp{
+					delta:    k.delta,
+					minAtLow: k.minAtLow,
+					mask:     make([]uint64, words),
+				})
+			}
+			st.ops[oi].mask[low>>6] |= 1 << (uint(low) & 63)
+		}
+	}
+	return ps
+}
+
+var packedCache sync.Map // cacheKey{name,rows,cols} -> *PackedSchedule
+
+type packedCacheKey struct {
+	name       string
+	rows, cols int
+}
+
+// CachedPacked returns the bit-packed compilation of algorithm name on an
+// R×C mesh, building it at most once per process.
+func CachedPacked(name string, rows, cols int) (*PackedSchedule, error) {
+	k := packedCacheKey{name, rows, cols}
+	if v, ok := packedCache.Load(k); ok {
+		return v.(*PackedSchedule), nil
+	}
+	s, err := sched.Cached(name, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := packedCache.LoadOrStore(k, CompilePacked(s))
+	return v.(*PackedSchedule), nil
+}
+
+// shiftDownWords sets dst so that bit p of dst equals bit p+d of src
+// (d >= 0); bits shifted in from beyond the top are zero.
+func shiftDownWords(dst, src []uint64, d int) {
+	w := len(src)
+	ws, bs := d>>6, uint(d&63)
+	if ws == 0 && bs != 0 {
+		// Sub-word shift — the only case on meshes with fewer than 64
+		// columns, and worth a branch-free inner loop.
+		for i := 0; i+1 < w; i++ {
+			dst[i] = src[i]>>bs | src[i+1]<<(64-bs)
+		}
+		dst[w-1] = src[w-1] >> bs
+		return
+	}
+	if bs == 0 {
+		// Word-aligned shift (delta a multiple of 64, e.g. column
+		// comparators on 64-column meshes): a plain copy.
+		if ws > w {
+			ws = w
+		}
+		copy(dst, src[ws:])
+		for i := w - ws; i < w; i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	for i := 0; i < w; i++ {
+		var lo, hi uint64
+		if i+ws < w {
+			lo = src[i+ws]
+		}
+		if i+ws+1 < w {
+			hi = src[i+ws+1]
+		}
+		dst[i] = lo>>bs | hi<<(64-bs)
+	}
+}
+
+// shiftUpWords sets dst so that bit p+d of dst equals bit p of src
+// (d >= 0); low-order bits are zero.
+func shiftUpWords(dst, src []uint64, d int) {
+	w := len(src)
+	ws, bs := d>>6, uint(d&63)
+	if ws == 0 && bs != 0 {
+		for i := w - 1; i > 0; i-- {
+			dst[i] = src[i]<<bs | src[i-1]>>(64-bs)
+		}
+		dst[0] = src[0] << bs
+		return
+	}
+	if bs == 0 {
+		if ws > w {
+			ws = w
+		}
+		copy(dst[ws:], src[:w-ws])
+		for i := 0; i < ws; i++ {
+			dst[i] = 0
+		}
+		return
+	}
+	for i := w - 1; i >= 0; i-- {
+		var lo, hi uint64
+		if i-ws >= 0 {
+			hi = src[i-ws]
+		}
+		if i-ws-1 >= 0 {
+			lo = src[i-ws-1]
+		}
+		dst[i] = hi<<bs | lo>>(64-bs)
+	}
+}
+
+// packedRunner holds the per-run scratch buffers so a sort performs no
+// allocations inside the step loop.
+type packedRunner struct {
+	b       []uint64 // grid bits
+	partner []uint64 // partner bits brought down to the low cell positions
+	swapped []uint64 // swap mask: pairs (at low positions) that exchanged
+	upbuf   []uint64 // swap mask shifted up to the partner positions
+}
+
+func newPackedRunner(p *PackedGrid) *packedRunner {
+	w := len(p.words)
+	return &packedRunner{
+		b:       p.words,
+		partner: make([]uint64, w),
+		swapped: make([]uint64, w),
+		upbuf:   make([]uint64, w),
+	}
+}
+
+// applyOp applies one comparator family simultaneously and returns the
+// number of exchanges (pairs whose values were out of order), which
+// matches the scalar engine's swap count exactly.
+//
+// A 0-1 compare-exchange either leaves both cells alone or flips both
+// (the pair was (1,0) in destination order and becomes (0,1)), so the new
+// grid is b XOR s XOR (s << delta), where s marks the swapping pairs at
+// their low cells. That needs one shift, one masked scan, and one fused
+// shift-XOR pass — cheaper than assembling min/max halves explicitly.
+func (r *packedRunner) applyOp(op *packedOp) (swaps int) {
+	shiftDownWords(r.partner, r.b, op.delta)
+	if op.minAtLow {
+		// Smaller value belongs at the lower flat cell: swap iff (1,0).
+		for i, m := range op.mask {
+			s := r.b[i] &^ r.partner[i] & m
+			swaps += bits.OnesCount64(s)
+			r.swapped[i] = s
+			r.b[i] ^= s
+		}
+	} else {
+		// Smaller value belongs at the higher flat cell: swap iff (0,1).
+		for i, m := range op.mask {
+			s := r.partner[i] &^ r.b[i] & m
+			swaps += bits.OnesCount64(s)
+			r.swapped[i] = s
+			r.b[i] ^= s
+		}
+	}
+	shiftUpWords(r.upbuf, r.swapped, op.delta)
+	for i, u := range r.upbuf {
+		r.b[i] ^= u
+	}
+	return swaps
+}
+
+// onesInRegion counts 1 bits inside the zero-region mask — the packed
+// equivalent of grid.ZeroOneTracker's misplacement measure.
+func (r *packedRunner) onesInRegion(zr []uint64) int {
+	n := 0
+	for i, w := range r.b {
+		n += bits.OnesCount64(w & zr[i])
+	}
+	return n
+}
+
+// SortPacked runs the bit-packed 0-1 kernel: it sorts g (in place, g must
+// hold only 0s and 1s) under schedule ps until the grid reaches target
+// order or maxSteps is hit (0 uses engine.DefaultMaxSteps). The returned
+// Result and the final grid are bit-identical to running the scalar
+// engine on the same input.
+func SortPacked(g *grid.Grid, ps *PackedSchedule, maxSteps int) (engine.Result, error) {
+	if g.Rows() != ps.rows || g.Cols() != ps.cols {
+		return engine.Result{}, fmt.Errorf("zeroone: grid is %dx%d but packed schedule %s was built for %dx%d",
+			g.Rows(), g.Cols(), ps.name, ps.rows, ps.cols)
+	}
+	if maxSteps == 0 {
+		maxSteps = engine.DefaultMaxSteps(ps.rows, ps.cols)
+	}
+	p := Pack(g)
+	n := g.Len()
+
+	// Zero-region mask: the first alpha rank positions under the target
+	// order, where alpha is the number of zeroes. The grid is sorted iff
+	// no 1 bit falls inside it (exactly grid.ZeroOneTracker's measure).
+	alpha := n - p.Ones()
+	zr := make([]uint64, len(p.words))
+	for m := 0; m < alpha; m++ {
+		i := g.RankFlat(ps.order, m)
+		zr[i>>6] |= 1 << (uint(i) & 63)
+	}
+
+	r := newPackedRunner(p)
+	var res engine.Result
+	if r.onesInRegion(zr) == 0 {
+		res.Sorted = true
+		return res, nil
+	}
+	period := len(ps.steps)
+	pi := 0
+	for t := 1; t <= maxSteps; t++ {
+		st := &ps.steps[pi]
+		if pi++; pi == period {
+			pi = 0
+		}
+		swaps := 0
+		for oi := range st.ops {
+			swaps += r.applyOp(&st.ops[oi])
+		}
+		res.Swaps += int64(swaps)
+		res.Comparisons += st.comparisons
+		if r.onesInRegion(zr) == 0 {
+			res.Steps = t
+			res.Sorted = true
+			p.UnpackInto(g)
+			return res, nil
+		}
+	}
+	p.UnpackInto(g)
+	return res, &engine.ErrStepLimit{Algorithm: ps.name, MaxSteps: maxSteps, Misplaced: r.onesInRegion(zr)}
+}

@@ -1,0 +1,144 @@
+package zeroone
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	src := rng.New(42)
+	for _, shape := range []struct{ rows, cols int }{
+		{1, 1}, {1, 7}, {9, 1}, {8, 8}, {5, 13}, {11, 6}, {16, 16},
+	} {
+		for trial := 0; trial < 5; trial++ {
+			alpha := rng.Intn(src, shape.rows*shape.cols+1)
+			g := workload.RandomZeroOne(src, shape.rows, shape.cols, alpha)
+			p := Pack(g)
+			if got := p.Ones(); got != shape.rows*shape.cols-alpha {
+				t.Fatalf("%dx%d alpha=%d: Ones=%d", shape.rows, shape.cols, alpha, got)
+			}
+			if !p.Unpack().Equal(g) {
+				t.Fatalf("%dx%d alpha=%d: round trip mismatch", shape.rows, shape.cols, alpha)
+			}
+		}
+	}
+}
+
+func TestPackRejectsNonBinary(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pack accepted a non-0-1 grid")
+		}
+	}()
+	Pack(grid.FromRows([][]int{{0, 2}}))
+}
+
+func TestShiftWords(t *testing.T) {
+	// 130 bits so every shift crosses word boundaries.
+	const nbits = 130
+	src := rng.New(9)
+	bitsOf := func(w []uint64, i int) uint64 { return w[i>>6] >> (uint(i) & 63) & 1 }
+	for _, d := range []int{0, 1, 5, 63, 64, 65, 100, 129} {
+		in := []uint64{src.Uint64(), src.Uint64(), src.Uint64() & 3}
+		down := make([]uint64, 3)
+		up := make([]uint64, 3)
+		shiftDownWords(down, in, d)
+		shiftUpWords(up, in, d)
+		for p := 0; p < nbits; p++ {
+			var wantDown uint64
+			if p+d < 192 {
+				wantDown = bitsOf(in, p+d)
+			}
+			if got := bitsOf(down, p); got != wantDown {
+				t.Fatalf("shiftDown d=%d bit %d: got %d want %d", d, p, got, wantDown)
+			}
+			var wantUp uint64
+			if p-d >= 0 {
+				wantUp = bitsOf(in, p-d)
+			}
+			if got := bitsOf(up, p); got != wantUp {
+				t.Fatalf("shiftUp d=%d bit %d: got %d want %d", d, p, got, wantUp)
+			}
+		}
+	}
+}
+
+// TestCompilePackedFamilies pins the compiled shape: every step of every
+// schedule collapses to at most two (offset, direction) families, which
+// is what makes the packed path O(words) per step.
+func TestCompilePackedFamilies(t *testing.T) {
+	for _, name := range sched.Names() {
+		s, err := sched.ByName(name, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps := CompilePacked(s)
+		for i, st := range ps.steps {
+			if len(st.ops) > 2 {
+				t.Errorf("%s step %d compiled to %d families, want <= 2", name, i+1, len(st.ops))
+			}
+			total := 0
+			for _, op := range st.ops {
+				for wi, w := range op.mask {
+					_ = wi
+					for ; w != 0; w &= w - 1 {
+						total++
+					}
+				}
+			}
+			if int64(total) != st.comparisons {
+				t.Errorf("%s step %d: mask bits %d != comparators %d", name, i+1, total, st.comparisons)
+			}
+		}
+	}
+}
+
+// TestSortPackedMatchesScalar is a randomized sweep beyond the engine
+// differential suite: larger meshes, random zero counts.
+func TestSortPackedMatchesScalar(t *testing.T) {
+	src := rng.New(2024)
+	for _, name := range sched.Names() {
+		for _, side := range []int{8, 16, 32} {
+			s, err := sched.Cached(name, side, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := CachedPacked(name, side, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 10; trial++ {
+				alpha := rng.Intn(src, side*side+1)
+				input := workload.RandomZeroOne(src, side, side, alpha)
+				gs := input.Clone()
+				rs, errS := engine.Run(gs, s, engine.Options{})
+				gp := input.Clone()
+				rp, errP := SortPacked(gp, ps, 0)
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("%s side %d: scalar err %v, packed err %v", name, side, errS, errP)
+				}
+				if rs != rp {
+					t.Fatalf("%s side %d alpha %d: scalar %+v != packed %+v", name, side, alpha, rs, rp)
+				}
+				if !gs.Equal(gp) {
+					t.Fatalf("%s side %d alpha %d: final grids differ", name, side, alpha)
+				}
+			}
+		}
+	}
+}
+
+func TestSortPackedDimensionMismatch(t *testing.T) {
+	ps, err := CachedPacked("snake-a", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortPacked(grid.New(4, 6), ps, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
