@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch experiments experiments-quick lemmas fmt vet cover
+.PHONY: all build test test-race bench bench-batch experiments experiments-quick lemmas fmt vet cover lint meshlint
 
 all: build vet test
 
@@ -37,6 +37,25 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# meshlint runs only the project's own invariant-enforcing passes
+# (oblivious, schedpurity, detrand, floateq); see docs/INVARIANTS.md.
+meshlint:
+	$(GO) run ./cmd/meshlint ./...
+
+# lint is the full static gate CI runs: formatting, go vet, meshlint,
+# and — when the tools are installed — staticcheck and govulncheck.
+# The optional tools are skipped locally if absent so the target works
+# offline; CI installs them.
+lint:
+	@fmtout="$$(gofmt -l .)"; if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/meshlint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "lint: staticcheck not installed, skipping"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then govulncheck ./...; \
+		else echo "lint: govulncheck not installed, skipping"; fi
 
 cover:
 	$(GO) test -cover ./...

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,22 +26,33 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run parses flags and selects the experiments; it returns the process
+// exit code: 0 all ok, 1 any experiment failed or errored, 2 usage
+// errors (unknown flag or experiment id).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		runIDs  = flag.String("run", "all", "comma-separated experiment ids, or 'all'")
-		quick   = flag.Bool("quick", false, "reduced sizes and trial counts")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		format  = flag.String("format", "table", "output format: table, markdown, csv")
-		workers = flag.Int("workers", 0, "parallel workers per run (0 = sequential)")
-		trialW  = flag.Int("trialworkers", 0, "trial-level worker pool size for Monte-Carlo sweeps (0 = GOMAXPROCS); results are identical for every value")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		runIDs  = fs.String("run", "all", "comma-separated experiment ids, or 'all'")
+		quick   = fs.Bool("quick", false, "reduced sizes and trial counts")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		format  = fs.String("format", "table", "output format: table, markdown, csv")
+		workers = fs.Int("workers", 0, "parallel workers per run (0 = sequential)")
+		trialW  = fs.Int("trialworkers", 0, "trial-level worker pool size for Monte-Carlo sweeps (0 = GOMAXPROCS); results are identical for every value")
+		list    = fs.Bool("list", false, "list experiments and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%s  %s\n     %s\n", e.ID, e.Title, e.Claim)
+			fmt.Fprintf(stdout, "%s  %s\n     %s\n", e.ID, e.Title, e.Claim)
 		}
-		return
+		return 0
 	}
 
 	var todo []experiments.Experiment
@@ -50,59 +62,63 @@ func main() {
 		for _, id := range strings.Split(*runIDs, ",") {
 			e, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 2
 			}
 			todo = append(todo, e)
 		}
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, TrialWorkers: *trialW}
+	return execute(todo, cfg, *format, stdout, stderr)
+}
+
+// execute runs the selected experiments and renders their outcomes. A
+// run error or an outcome with OK=false counts as a failure; any failure
+// makes the exit code 1 so CI and scripts can gate on the suite.
+func execute(todo []experiments.Experiment, cfg experiments.Config, format string, stdout, stderr io.Writer) int {
 	failed := 0
 	for _, e := range todo {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		fmt.Printf("claim: %s\n\n", e.Claim)
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Fprintf(stdout, "claim: %s\n\n", e.Claim)
 		out, err := e.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
+			fmt.Fprintf(stderr, "experiments: %s: %v\n", e.ID, err)
 			failed++
 			continue
 		}
 		for _, t := range out.Tables {
-			switch *format {
+			var err error
+			switch format {
 			case "markdown":
 				if t.Title != "" {
-					fmt.Printf("**%s**\n\n", t.Title)
+					fmt.Fprintf(stdout, "**%s**\n\n", t.Title)
 				}
-				if err := t.Markdown(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", err)
-					os.Exit(1)
-				}
+				err = t.Markdown(stdout)
 			case "csv":
-				if err := t.CSV(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", err)
-					os.Exit(1)
-				}
+				err = t.CSV(stdout)
 			default:
-				if err := t.Render(os.Stdout); err != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", err)
-					os.Exit(1)
-				}
+				err = t.Render(stdout)
 			}
-			fmt.Println()
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 1
+			}
+			fmt.Fprintln(stdout)
 		}
 		for _, n := range out.Notes {
-			fmt.Printf("note: %s\n", n)
+			fmt.Fprintf(stdout, "note: %s\n", n)
 		}
 		if out.OK {
-			fmt.Printf("result: OK — the paper's claim held\n\n")
+			fmt.Fprintf(stdout, "result: OK — the paper's claim held\n\n")
 		} else {
-			fmt.Printf("result: FAILED\n\n")
+			fmt.Fprintf(stdout, "result: FAILED\n\n")
 			failed++
 		}
 	}
 	if failed > 0 {
-		fmt.Fprintf(os.Stderr, "experiments: %d experiment(s) failed\n", failed)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "experiments: %d experiment(s) failed\n", failed)
+		return 1
 	}
+	return 0
 }

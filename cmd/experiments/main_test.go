@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "E01") {
+		t.Errorf("-list output missing E01:\n%s", stdout.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(bad flag) = %d, want 2", code)
+	}
+	if code := run([]string{"-run", "E99"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(unknown id) = %d, want 2", code)
+	}
+}
+
+// TestExecuteExitCodes drives execute with fake experiments so the
+// failure paths are covered without running real Monte-Carlo sweeps: a
+// failed claim and a run error both make the exit code 1.
+func TestExecuteExitCodes(t *testing.T) {
+	ok := experiments.Experiment{ID: "T1", Title: "passes", Run: func(experiments.Config) (*experiments.Outcome, error) {
+		return &experiments.Outcome{ID: "T1", OK: true}, nil
+	}}
+	failedClaim := experiments.Experiment{ID: "T2", Title: "fails", Run: func(experiments.Config) (*experiments.Outcome, error) {
+		return &experiments.Outcome{ID: "T2", OK: false, Notes: []string{"FAIL: claim broke"}}, nil
+	}}
+	errored := experiments.Experiment{ID: "T3", Title: "errors", Run: func(experiments.Config) (*experiments.Outcome, error) {
+		return nil, errors.New("synthetic failure")
+	}}
+
+	cases := []struct {
+		name string
+		todo []experiments.Experiment
+		want int
+	}{
+		{"all ok", []experiments.Experiment{ok}, 0},
+		{"claim failed", []experiments.Experiment{ok, failedClaim}, 1},
+		{"run errored", []experiments.Experiment{errored, ok}, 1},
+	}
+	for _, c := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := execute(c.todo, experiments.Config{}, "table", &stdout, &stderr); got != c.want {
+			t.Errorf("%s: execute = %d, want %d\nstdout: %s\nstderr: %s",
+				c.name, got, c.want, stdout.String(), stderr.String())
+		}
+	}
+}

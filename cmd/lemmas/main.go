@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/engine"
@@ -22,16 +23,26 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the lemma families and returns the process exit code:
+// 0 when every lemma held, 1 on any violation, 2 on usage errors.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lemmas", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		side   = flag.Int("side", 8, "mesh side length (even)")
-		trials = flag.Int("trials", 500, "random meshes per family")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		cycles = flag.Int("cycles", 8, "algorithm cycles to track per mesh")
+		side   = fs.Int("side", 8, "mesh side length (even)")
+		trials = fs.Int("trials", 500, "random meshes per family")
+		seed   = fs.Uint64("seed", 1, "random seed")
+		cycles = fs.Int("cycles", 8, "algorithm cycles to track per mesh")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *side%2 != 0 || *side < 4 {
-		fmt.Fprintln(os.Stderr, "lemmas: -side must be even and >= 4")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "lemmas: -side must be even and >= 4")
+		return 2
 	}
 
 	violations := 0
@@ -41,7 +52,7 @@ func main() {
 			status = fmt.Sprintf("%d VIOLATIONS (first: %v)", len(errs), errs[0])
 			violations += len(errs)
 		}
-		fmt.Printf("%-38s %7d checks  %s\n", family, checks, status)
+		fmt.Fprintf(stdout, "%-38s %7d checks  %s\n", family, checks, status)
 	}
 
 	src := rng.New(*seed)
@@ -171,9 +182,16 @@ func main() {
 		report("Theorem 4 block mapping (rm-cf)", checks, errs)
 	}
 
+	return finish(violations, stdout, stderr)
+}
+
+// finish maps the violation count to the exit code (factored out so the
+// failure path has a direct test).
+func finish(violations int, stdout, stderr io.Writer) int {
 	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "lemmas: %d violations found\n", violations)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "lemmas: %d violations found\n", violations)
+		return 1
 	}
-	fmt.Println("all lemmas held")
+	fmt.Fprintln(stdout, "all lemmas held")
+	return 0
 }

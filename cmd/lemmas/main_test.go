@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(bad flag) = %d, want 2", code)
+	}
+	if code := run([]string{"-side", "5"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(odd side) = %d, want 2", code)
+	}
+	if code := run([]string{"-side", "2"}, &stdout, &stderr); code != 2 {
+		t.Errorf("run(side 2) = %d, want 2", code)
+	}
+}
+
+// TestRunSmall executes the real lemma families on a tiny configuration;
+// the paper's lemmas hold, so the exit code must be 0.
+func TestRunSmall(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-side", "4", "-trials", "3", "-cycles", "2"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(small) = %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "all lemmas held") {
+		t.Errorf("missing success line:\n%s", stdout.String())
+	}
+}
+
+// TestFinish covers the violation path directly: any violation makes the
+// exit code 1 and reports the count on stderr.
+func TestFinish(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := finish(0, &stdout, &stderr); code != 0 {
+		t.Errorf("finish(0) = %d, want 0", code)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := finish(3, &stdout, &stderr); code != 1 {
+		t.Errorf("finish(3) = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "3 violations") {
+		t.Errorf("stderr missing violation count: %s", stderr.String())
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"oblivious", "schedpurity", "detrand", "floateq"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(bad flag) = %d, want 2", code)
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(bad pattern) = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "meshlint:") {
+		t.Errorf("stderr missing meshlint prefix: %s", stderr.String())
+	}
+}
+
+// TestRunCleanPackage runs the real multichecker over one package that
+// must be clean (internal/sched: schedules are provably oblivious with
+// zero exemption directives).
+func TestRunCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks internal/sched and its dependencies; skipped with -short")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"repro/internal/sched"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(repro/internal/sched) = %d\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}

@@ -63,33 +63,37 @@ type Experiment struct {
 	Run   func(Config) (*Outcome, error)
 }
 
-// registry is populated by the e*.go files' init functions.
-var registry = map[string]Experiment{}
+// registry is populated by the e*.go files' init functions. It is an
+// ordered slice plus an id index — not a map — so that no caller ever
+// iterates experiments in map order (the detrand pass forbids it).
+var (
+	registry []Experiment
+	byID     = map[string]int{}
+)
 
 func register(e Experiment) {
-	if _, dup := registry[e.ID]; dup {
+	if _, dup := byID[e.ID]; dup {
 		panic(fmt.Sprintf("experiments: duplicate id %s", e.ID))
 	}
-	registry[e.ID] = e
+	byID[e.ID] = len(registry)
+	registry = append(registry, e)
 }
 
 // All returns every experiment ordered by id.
 func All() []Experiment {
-	out := make([]Experiment, 0, len(registry))
-	for _, e := range registry {
-		out = append(out, e)
-	}
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // ByID looks an experiment up.
 func ByID(id string) (Experiment, error) {
-	e, ok := registry[id]
+	i, ok := byID[id]
 	if !ok {
 		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
-	return e, nil
+	return registry[i], nil
 }
 
 // newOutcome is a small constructor used by the experiment files.

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the testdata-driven test harness, modelled on
+// golang.org/x/tools/go/analysis/analysistest: a testdata package seeds
+// violations and annotates the lines it expects the analyzer to flag with
+//
+//	code // want "regexp" ["regexp" ...]
+//
+// AnalyzerTest loads the package, runs one analyzer, and reports every
+// mismatch in either direction — an expectation with no diagnostic, or a
+// diagnostic with no expectation — so testdata packages stay the exact
+// specification of each pass.
+
+// testLoaders shares one loader per module across a test binary so the
+// standard library is type-checked from source once, not per test case.
+var (
+	testLoadersMu sync.Mutex
+	testLoaders   = map[string]*Loader{}
+)
+
+func sharedLoader(moduleDir string) (*Loader, error) {
+	testLoadersMu.Lock()
+	defer testLoadersMu.Unlock()
+	if l, ok := testLoaders[moduleDir]; ok {
+		return l, nil
+	}
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	testLoaders[moduleDir] = l
+	return l, nil
+}
+
+// TB is the subset of *testing.T the harness needs (kept as an interface
+// so this file builds into the non-test package without importing
+// testing).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...interface{})
+	Fatalf(format string, args ...interface{})
+}
+
+// AnalyzerTest runs a over the testdata package in dir (resolving
+// module-local imports against moduleDir) and checks its diagnostics
+// against the package's // want comments. Directive problems
+// (pseudo-analyzer "directive") participate like any other diagnostic, so
+// malformed-whitelist handling is testable the same way.
+func AnalyzerTest(t TB, a *Analyzer, moduleDir, dir string) {
+	t.Helper()
+	loader, err := sharedLoader(moduleDir)
+	if err != nil {
+		t.Fatalf("lint test: %v", err)
+		return
+	}
+	pkg, err := loader.LoadDir(dir, "meshlinttest/"+strings.ReplaceAll(dir, "/", "_"))
+	if err != nil {
+		t.Fatalf("lint test: loading %s: %v", dir, err)
+		return
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("lint test: running %s on %s: %v", a.Name, dir, err)
+		return
+	}
+
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("lint test: %v", err)
+		return
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic matching %q (analyzer %s)", w.file, w.line, w.re, a.Name)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, d)
+		}
+	}
+}
+
+// want is one expectation: a regexp that must match a diagnostic on the
+// given file:line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts the // want expectations of every file in pkg.
+func parseWants(pkg *Package) ([]want, error) {
+	var wants []want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of Go-quoted strings: `"a" "b c"`.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		end := -1
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		q, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

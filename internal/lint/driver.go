@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DefaultAnalyzers returns every meshlint pass, in reporting order.
+func DefaultAnalyzers() []*Analyzer {
+	return []*Analyzer{Oblivious, SchedPurity, DetRand, FloatEq}
+}
+
+// Check is the multichecker entry point: it loads the requested packages
+// of the module rooted at moduleDir and runs each analyzer on the
+// packages its Targets predicate selects. Patterns may be import paths,
+// module-relative directories, or "./..." / "all" for every package; an
+// empty pattern list means everything. Diagnostics come back sorted by
+// package, file and position.
+func Check(moduleDir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	loader, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	paths, err := resolvePatterns(loader, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []Diagnostic
+	for _, path := range paths {
+		var selected []*Analyzer
+		for _, a := range analyzers {
+			if a.Targets == nil || a.Targets(path) {
+				selected = append(selected, a)
+			}
+		}
+		if len(selected) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		ds, err := RunAnalyzers(pkg, selected)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, nil
+}
+
+// resolvePatterns expands the command-line patterns to sorted import
+// paths.
+func resolvePatterns(loader *Loader, patterns []string) ([]string, error) {
+	all := false
+	if len(patterns) == 0 {
+		all = true
+	}
+	for _, p := range patterns {
+		if p == "./..." || p == "all" || p == loader.ModulePath+"/..." {
+			all = true
+		}
+	}
+	if all {
+		return loader.Discover()
+	}
+	var paths []string
+	for _, p := range patterns {
+		path, err := resolvePattern(loader, p)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// resolvePattern maps one pattern (import path or directory) to an import
+// path.
+func resolvePattern(loader *Loader, pattern string) (string, error) {
+	if pattern == loader.ModulePath || strings.HasPrefix(pattern, loader.ModulePath+"/") {
+		return pattern, nil
+	}
+	// Treat it as a directory, relative to the working directory.
+	abs, err := filepath.Abs(strings.TrimSuffix(pattern, "/"))
+	if err != nil {
+		return "", err
+	}
+	if st, err := os.Stat(abs); err != nil || !st.IsDir() {
+		return "", fmt.Errorf("lint: pattern %q is neither an import path under %s nor a directory", pattern, loader.ModulePath)
+	}
+	rel, err := filepath.Rel(loader.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: directory %q is outside module %s", pattern, loader.ModuleDir)
+	}
+	if rel == "." {
+		return loader.ModulePath, nil
+	}
+	return loader.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq guards the closed-form comparisons. The analysis packages
+// compare measured moments against exact rational expectations converted
+// to float64; an ==/!= on floats there turns a one-ulp rounding
+// difference into a spurious experiment failure (or, worse, a spurious
+// pass). All comparisons must go through tolerance helpers (math.Abs(a-b)
+// < eps, meanWithin, …); the helpers themselves are whitelisted with
+// //meshlint:exempt floateq where an exact comparison is genuinely meant
+// (e.g. testing whether a float is an exact integer for rendering).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= on floating-point operands in the closed-form " +
+		"analysis packages; use tolerance helpers instead",
+	Targets: pathIn(
+		"repro/internal/analysis",
+		"repro/internal/stats",
+		"repro/internal/experiments",
+	),
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloatExpr(info, bin.X) || isFloatExpr(info, bin.Y) {
+				pass.Reportf(bin.OpPos,
+					"%s on floating-point operands; closed-form comparisons must use a tolerance (math.Abs(a-b) <= eps)", bin.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFloatExpr reports whether e has floating-point type.
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

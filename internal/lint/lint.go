@@ -1,0 +1,245 @@
+// Package lint is meshlint: a small, dependency-free static-analysis
+// framework plus the custom passes that enforce the simulator's
+// correctness invariants at compile time.
+//
+// Every quantitative claim regenerated from Savari (SPAA '93) rests on the
+// algorithms being oblivious comparator schedules — the comparator
+// sequence may depend only on (step number, mesh shape), never on cell
+// values — and on the (seed, algorithm, side, trial) → identical-results
+// reproducibility contract of the Monte-Carlo harness. Those invariants
+// were previously enforced only dynamically, by tests; the analyzers in
+// this package make them machine-checked properties of the source:
+//
+//   - oblivious: no control flow outside whitelisted compare-exchange /
+//     measurement primitives may depend on grid cell values.
+//   - schedpurity: Schedule.Step/Phases methods are read-only, so compiled
+//     schedules stay safely shareable across worker goroutines.
+//   - detrand: no math/rand, no time.Now, no map-iteration-order
+//     dependence in simulation and statistics packages.
+//   - floateq: no ==/!= on floating-point values in the closed-form
+//     analysis packages; comparisons must go through tolerance helpers.
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic, testdata
+// packages with "// want" expectations) but is built only on the standard
+// library's go/ast, go/parser and go/types, so it needs no module
+// downloads: module-local imports are resolved against the repository and
+// standard-library imports are type-checked from GOROOT source.
+//
+// Violations that are intended — the compare-exchange primitives, the
+// paper's 0-1 statistics, the lemma checkers — are whitelisted in the
+// source with directives:
+//
+//	//meshlint:exempt <analyzer> <reason>       (on a func declaration)
+//	//meshlint:file-exempt <analyzer> <reason>  (anywhere in a file)
+//
+// A directive with a missing reason or an unknown analyzer name is itself
+// reported, so the whitelist stays auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Targets reports whether the analyzer applies to the package with the
+	// given import path. The driver consults it; tests bypass it and run
+	// the analyzer on testdata packages directly.
+	Targets func(importPath string) bool
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// A Diagnostic is one finding, located in the file set of the package it
+// was reported for.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	exempt []posRange
+	diags  *[]Diagnostic
+}
+
+type posRange struct {
+	start, end token.Pos
+}
+
+// Reportf records a finding at pos unless the position is covered by an
+// exemption directive for this analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	for _, r := range p.exempt {
+		if pos >= r.start && pos <= r.end {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// directivePrefix introduces every meshlint source directive.
+const (
+	funcDirective = "//meshlint:exempt"
+	fileDirective = "//meshlint:file-exempt"
+)
+
+// directives holds the parsed exemptions of one package: analyzer name →
+// exempted position ranges. Problems are malformed directives, reported
+// under the pseudo-analyzer name "directive".
+type directives struct {
+	byAnalyzer map[string][]posRange
+	problems   []Diagnostic
+}
+
+// parseDirectives scans a package's comments for meshlint directives.
+// known maps valid analyzer names; a directive naming anything else is
+// flagged so stale whitelists cannot linger silently.
+func parseDirectives(pkg *Package, known map[string]bool) directives {
+	d := directives{byAnalyzer: map[string][]posRange{}}
+
+	problem := func(pos token.Pos, format string, args ...interface{}) {
+		d.problems = append(d.problems, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "directive",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+
+	// parse returns the analyzer named by one directive comment, or "".
+	parse := func(c *ast.Comment, prefix string) (analyzer string, ok bool) {
+		rest := strings.TrimPrefix(c.Text, prefix)
+		if rest == c.Text {
+			return "", false
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			problem(c.Pos(), "%s needs an analyzer name and a reason", prefix)
+			return "", false
+		}
+		if !known[fields[0]] {
+			problem(c.Pos(), "%s names unknown analyzer %q", prefix, fields[0])
+			return "", false
+		}
+		if len(fields) < 2 {
+			problem(c.Pos(), "%s %s needs a reason", prefix, fields[0])
+			return "", false
+		}
+		return fields[0], true
+	}
+
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if a, ok := parse(c, fileDirective); ok {
+					d.byAnalyzer[a] = append(d.byAnalyzer[a], posRange{file.Pos(), file.End()})
+				} else if strings.HasPrefix(c.Text, funcDirective) && !strings.HasPrefix(c.Text, fileDirective) {
+					// Function-level directives are valid only inside a
+					// func declaration's doc comment; resolve them below.
+					// Here we only validate ones that are floating free.
+					if fn := enclosingFunc(file, c.Pos()); fn == nil {
+						if a, ok := parse(c, funcDirective); ok {
+							problem(c.Pos(), "//meshlint:exempt %s must be part of a func declaration's doc comment", a)
+						}
+					}
+				}
+			}
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				if a, ok := parse(c, funcDirective); ok {
+					d.byAnalyzer[a] = append(d.byAnalyzer[a], posRange{fn.Pos(), fn.End()})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// enclosingFunc returns the FuncDecl whose doc comment or body covers pos,
+// or nil.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		start := fn.Pos()
+		if fn.Doc != nil {
+			start = fn.Doc.Pos()
+		}
+		if pos >= start && pos <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers runs the given analyzers over one loaded package,
+// honouring exemption directives, and returns the findings sorted by
+// position. Target filtering is the caller's job (see Check); this
+// function runs every analyzer it is given.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	dirs := parseDirectives(pkg, known)
+
+	var diags []Diagnostic
+	diags = append(diags, dirs.problems...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Pkg:      pkg,
+			exempt:   dirs.byAnalyzer[a.Name],
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

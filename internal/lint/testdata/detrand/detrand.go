@@ -1,0 +1,66 @@
+// Package detrand seeds violations for the detrand analyzer: stray
+// randomness, wall-clock reads, and map-iteration-order dependence.
+package detrand
+
+import (
+	"math/rand" // want "import of math/rand"
+	"sort"
+	"time"
+)
+
+func jitter() float64 { return rand.Float64() }
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "call to time.Now"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "call to time.Since"
+}
+
+// fold accumulates in map order: the sum is fine but the code shape is
+// the one that silently reorders output elsewhere, so it is flagged.
+func fold(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "range over map"
+		s += v
+	}
+	return s
+}
+
+// keys is the sanctioned fix idiom — collect, then sort — and is not
+// flagged even though it ranges over a map.
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ordered consumes the map through the sorted key slice; nothing to flag.
+func ordered(m map[string]int) []int {
+	var out []int
+	for _, k := range keys(m) {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// benchmark shows the directive suppressing a wall-clock finding for code
+// whose whole point is timing.
+//
+//meshlint:exempt detrand testdata stand-in for benchmark timing code
+func benchmark(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+var _ = jitter
+var _ = stamp
+var _ = elapsed
+var _ = fold
+var _ = ordered
+var _ = benchmark

@@ -1,0 +1,38 @@
+// Package floateq seeds violations for the floateq analyzer: exact
+// equality on floating-point values in the closed-form analysis.
+package floateq
+
+// celsius checks that named types with a float underlying type are still
+// caught.
+type celsius float64
+
+func exact(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+func named(a, b celsius) bool {
+	return a != b // want "!= on floating-point operands"
+}
+
+func mixed(a float64, b int) bool {
+	return a == float64(b) // want "== on floating-point operands"
+}
+
+func ints(a, b int) bool { return a == b }
+
+func ordered(a, b float64) bool { return a < b }
+
+// isWholeNumber is a sanctioned exact comparison (rendering decision, not
+// a closed-form check), whitelisted by the directive.
+//
+//meshlint:exempt floateq exact integer test for rendering is intentional
+func isWholeNumber(x float64) bool {
+	return x == float64(int(x))
+}
+
+var _ = exact
+var _ = named
+var _ = mixed
+var _ = ints
+var _ = ordered
+var _ = isWholeNumber

@@ -1,0 +1,93 @@
+// Package oblivious seeds violations for the oblivious analyzer: control
+// flow that depends on grid cell values outside exempted primitives. The
+// expectation comments are the analyzer's specification, line by line.
+package oblivious
+
+import "repro/internal/grid"
+
+// direct branches on a cell read straight from the grid.
+func direct(g *grid.Grid) int {
+	if g.At(0, 0) > 3 { // want "if condition depends on grid cell values"
+		return 1
+	}
+	return 0
+}
+
+// assigned shows taint flowing through an assignment chain before it
+// reaches a loop condition.
+func assigned(g *grid.Grid) int {
+	v := g.AtFlat(4)
+	w := v + 1
+	for w > 0 { // want "for condition depends on grid cell values"
+		w--
+	}
+	return w
+}
+
+// ranged shows taint flowing from Cells() through a range element into a
+// switch tag.
+func ranged(g *grid.Grid) int {
+	n := 0
+	for _, v := range g.Cells() {
+		switch v { // want "switch condition depends on grid cell values"
+		case 0:
+			n++
+		}
+	}
+	return n
+}
+
+// caseExpr puts the tainted expression in a case, with a clean tag.
+func caseExpr(g *grid.Grid, x int) int {
+	v := g.At(1, 1)
+	switch x {
+	case v: // want "case condition depends on grid cell values"
+		return 1
+	}
+	return 0
+}
+
+// geometry uses only shape accessors; nothing here is a value read.
+func geometry(g *grid.Grid) int {
+	if g.Rows() > g.Cols() {
+		return g.Len()
+	}
+	return 0
+}
+
+// positional ranges over Cells but branches only on the index, which is a
+// position, not a value.
+func positional(g *grid.Grid) int {
+	n := 0
+	for i := range g.Cells() {
+		if i%2 == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// compareExchange is sanctioned value-dependent code: the directive
+// suppresses the finding its body would otherwise produce.
+//
+//meshlint:exempt oblivious testdata stand-in for a compare-exchange primitive
+func compareExchange(g *grid.Grid) int {
+	if g.At(0, 0) > g.At(0, 1) {
+		return 1
+	}
+	return 0
+}
+
+//meshlint:exempt oblivious floating directives are rejected // want "must be part of a func declaration's doc comment"
+var sink int
+
+//meshlint:file-exempt bogus typo-ed analyzer names are rejected // want "names unknown analyzer \"bogus\""
+
+var _ = direct
+var _ = assigned
+var _ = ranged
+var _ = caseExpr
+var _ = geometry
+var _ = positional
+var _ = compareExchange
+var _ = sink

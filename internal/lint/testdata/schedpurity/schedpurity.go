@@ -1,0 +1,84 @@
+// Package schedpurity seeds violations for the schedpurity analyzer:
+// Step/Phases methods and schedule constructors that write shared state.
+package schedpurity
+
+// Comparator mirrors the shape of a schedule step result.
+type Comparator struct{ Lo, Hi int }
+
+// Memo is a schedule whose Step illegally memoizes into the receiver —
+// exactly the "cache the last comparator slice" regression the analyzer
+// exists to prevent.
+type Memo struct {
+	last []Comparator
+	n    int
+}
+
+func (m *Memo) Step(t int) []Comparator {
+	m.last = append(m.last[:0], Comparator{t, t + 1}) // want "Step writes receiver state via m"
+	return m.last
+}
+
+func (m *Memo) Phases() int {
+	m.n++ // want "Phases writes receiver state via m"
+	return m.n
+}
+
+var stepCount int
+
+// Counter is a schedule whose Step bumps a package global.
+type Counter struct{}
+
+func (Counter) Step(t int) []Comparator {
+	stepCount++ // want "Step writes package-level variable stepCount"
+	return nil
+}
+
+// closure shows that hiding the write in a func literal does not help.
+type Closure struct{ n int }
+
+func (c *Closure) Step(t int) []Comparator {
+	bump := func() {
+		c.n = t // want "Step writes receiver state via c"
+	}
+	bump()
+	return nil
+}
+
+// Pure is a legal schedule: it reads the receiver and writes only locals.
+type Pure struct{ n int }
+
+func (p *Pure) Step(t int) []Comparator {
+	out := make([]Comparator, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		out = append(out, Comparator{i, i + 1})
+	}
+	return out
+}
+
+var ctorCache map[int][]Comparator
+
+// NewMemo is a constructor that illegally writes a bare package cache.
+func NewMemo(n int) *Memo {
+	ctorCache = map[int][]Comparator{} // want "schedule constructor NewMemo writes package-level variable ctorCache"
+	return &Memo{n: n}
+}
+
+// NewPure is a legal constructor: locals and the returned value only.
+func NewPure(n int) *Pure {
+	p := &Pure{}
+	p.n = n
+	return p
+}
+
+var registered int
+
+// NewRegistered shows the directive suppressing a constructor finding.
+//
+//meshlint:exempt schedpurity testdata stand-in for a sanctioned registration write
+func NewRegistered(n int) *Pure {
+	registered = n
+	return &Pure{n: n}
+}
+
+var _ = ctorCache
+var _ = registered

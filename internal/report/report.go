@@ -6,6 +6,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -171,9 +172,18 @@ func ASCIIPlot(title string, xs []float64, series map[byte][]float64, width, hei
 	if height < 4 {
 		height = 4
 	}
+	// Iterate series in sorted mark order: with several series, overlapping
+	// points keep the mark of the last series drawn, so map-order iteration
+	// would make the rendering nondeterministic.
+	marks := make([]byte, 0, len(series))
+	for mark := range series {
+		marks = append(marks, mark)
+	}
+	sort.Slice(marks, func(i, j int) bool { return marks[i] < marks[j] })
+
 	var allY []float64
-	for _, ys := range series {
-		allY = append(allY, ys...)
+	for _, mark := range marks {
+		allY = append(allY, series[mark]...)
 	}
 	if len(allY) == 0 || len(xs) == 0 {
 		return title + "\n(no data)\n"
@@ -190,8 +200,8 @@ func ASCIIPlot(title string, xs []float64, series map[byte][]float64, width, hei
 	for i := range canvas {
 		canvas[i] = []byte(strings.Repeat(" ", width))
 	}
-	for mark, ys := range series {
-		for i, y := range ys {
+	for _, mark := range marks {
+		for i, y := range series[mark] {
 			if i >= len(xs) {
 				break
 			}

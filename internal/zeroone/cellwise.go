@@ -10,7 +10,10 @@ import (
 // per-cell implications stated inside the paper's proofs ("the zeroes of
 // the even-numbered columns travel together"). The checkers below verify
 // those implications cell by cell, which pins the mechanism — not merely
-// its numeric consequence.
+// its numeric consequence. Like the statistics, the checkers read cell
+// values by definition: they observe grids, they never steer a schedule.
+//
+//meshlint:file-exempt oblivious cellwise lemma checkers observe cell values by definition
 
 // CheckLemma2Cellwise verifies, around an odd row sorting step (paper
 // notation A before, B after; 0-indexed here):

@@ -16,6 +16,13 @@ import (
 	"repro/internal/grid"
 )
 
+// This file computes the paper's 0-1 statistics (M, Z-i, Y-i, column
+// weights). Reading cell values is their definition — they are
+// measurements taken of a grid, not schedule control flow — so the whole
+// file is exempt from the obliviousness pass.
+//
+//meshlint:file-exempt oblivious paper 0-1 statistics measure cell values by definition
+
 // requireZeroOne panics unless g holds only 0s and 1s.
 func requireZeroOne(g *grid.Grid) {
 	for i := 0; i < g.Len(); i++ {
