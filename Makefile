@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch experiments experiments-quick lemmas fmt vet cover lint meshlint
+.PHONY: all build test test-race bench bench-batch bench-kernel experiments experiments-quick lemmas fmt vet cover lint meshlint
 
 all: build vet test
 
@@ -21,7 +21,14 @@ bench:
 # Machine-readable speedup record for the batched trial engine and the
 # bit-packed 0-1 kernel (writes BENCH_batch.json at the repo root).
 bench-batch:
-	$(GO) run ./cmd/benchbatch -out BENCH_batch.json
+	$(GO) run ./cmd/benchbatch -suite batch -out BENCH_batch.json
+
+# Span-kernel sweep: single-thread legacy vs generic vs span ns/trial per
+# side, plus span throughput across GOMAXPROCS {1,2,4,8} (writes
+# BENCH_kernel.json at the repo root). Pass BENCHFLAGS="-cpuprofile cpu.pb.gz"
+# to capture a profile of the sweep.
+bench-kernel:
+	$(GO) run ./cmd/benchbatch -suite kernel -out BENCH_kernel.json $(BENCHFLAGS)
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,20 +1,28 @@
-// Command benchbatch measures the two headline speedups of the batched
-// Monte-Carlo trial engine and writes them as machine-readable JSON
-// (BENCH_batch.json at the repo root, via `make bench-batch`):
+// Command benchbatch measures the headline speedups of the Monte-Carlo
+// trial machinery and writes them as machine-readable JSON. It has two
+// suites:
 //
-//   - batched: the historical per-trial loop (schedule rebuilt every
-//     trial, Step(t) fetched through the interface, tracker dispatched
-//     per swap) against mcbatch.Run on the same seeds and trials.
-//   - zeroone: the scalar engine against the bit-packed 0-1 kernel on
-//     identical half-ones grids.
+//   - batch (default, BENCH_batch.json via `make bench-batch`): the
+//     historical per-trial loop (schedule rebuilt every trial, Step(t)
+//     fetched through the interface, tracker dispatched per swap) against
+//     mcbatch.Run on the same seeds and trials, plus the scalar engine
+//     against the bit-packed 0-1 kernel on identical half-ones grids.
+//   - kernel (BENCH_kernel.json via `make bench-kernel`): the span kernel
+//     sweep — for each side in {32, 64, 128}, single-thread legacy vs
+//     generic-kernel vs span-kernel ns/trial, and span-kernel trial
+//     throughput across GOMAXPROCS in {1, 2, 4, 8} with parallel
+//     efficiency relative to the single-thread point.
 //
 // Arms are interleaved rep by rep and the per-arm minimum is reported, so
 // a background load spike degrades both arms of a rep rather than biasing
-// one side.
+// one side. Every measurement records the GOMAXPROCS and worker count it
+// ran under (the machine-level gomaxprocs is *not* a global of the
+// report: the kernel suite changes it between measurements).
 //
 // Usage:
 //
-//	benchbatch [-out BENCH_batch.json] [-reps 5] [-trials 64]
+//	benchbatch [-suite batch|kernel] [-out FILE] [-reps 5] [-trials 64]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
@@ -23,9 +31,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	meshsort "repro"
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/mcbatch"
@@ -41,6 +51,8 @@ type batchedResult struct {
 	Trials           int     `json:"trials"`
 	Seed             uint64  `json:"seed"`
 	Reps             int     `json:"reps"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+	Workers          int     `json:"workers"`
 	LegacyNsPerTrial float64 `json:"legacy_ns_per_trial"`
 	BatchNsPerTrial  float64 `json:"mcbatch_ns_per_trial"`
 	Speedup          float64 `json:"speedup"`
@@ -50,17 +62,62 @@ type zeroOneResult struct {
 	Side           int     `json:"side"`
 	Inputs         int     `json:"inputs"`
 	Reps           int     `json:"reps"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
 	ScalarNsPerRun float64 `json:"scalar_ns_per_run"`
 	PackedNsPerRun float64 `json:"packed_ns_per_run"`
 	Speedup        float64 `json:"speedup"`
 }
 
-type report struct {
+type batchReport struct {
 	GeneratedAt string          `json:"generated_at"`
 	GoVersion   string          `json:"go_version"`
-	GOMAXPROCS  int             `json:"gomaxprocs"`
+	NumCPU      int             `json:"num_cpu"`
 	Batched     batchedResult   `json:"batched"`
 	ZeroOne     []zeroOneResult `json:"zeroone"`
+}
+
+// singleThreadResult is one gomaxprocs=1 comparison of the three
+// permutation-trial executors on one side.
+type singleThreadResult struct {
+	Algorithm         string  `json:"algorithm"`
+	Side              int     `json:"side"`
+	Trials            int     `json:"trials"`
+	Seed              uint64  `json:"seed"`
+	Reps              int     `json:"reps"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+	Workers           int     `json:"workers"`
+	LegacyNsPerTrial  float64 `json:"legacy_ns_per_trial"`
+	GenericNsPerTrial float64 `json:"generic_ns_per_trial"`
+	SpanNsPerTrial    float64 `json:"span_ns_per_trial"`
+	SpanVsLegacy      float64 `json:"span_vs_legacy"`
+	SpanVsGeneric     float64 `json:"span_vs_generic"`
+	GenericVsLegacy   float64 `json:"generic_vs_legacy"`
+}
+
+// scalingResult is one (side, gomaxprocs) point of the span-kernel
+// throughput sweep. Efficiency is throughput divided by gomaxprocs times
+// the side's single-thread throughput; on hardware with fewer cores than
+// gomaxprocs it is bounded by num_cpu/gomaxprocs, which is why the report
+// records num_cpu.
+type scalingResult struct {
+	Algorithm      string  `json:"algorithm"`
+	Side           int     `json:"side"`
+	Trials         int     `json:"trials"`
+	Seed           uint64  `json:"seed"`
+	Reps           int     `json:"reps"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Workers        int     `json:"workers"`
+	SpanNsPerTrial float64 `json:"span_ns_per_trial"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	Efficiency     float64 `json:"efficiency"`
+}
+
+type kernelReport struct {
+	GeneratedAt  string               `json:"generated_at"`
+	GoVersion    string               `json:"go_version"`
+	NumCPU       int                  `json:"num_cpu"`
+	SingleThread []singleThreadResult `json:"single_thread"`
+	Scaling      []scalingResult      `json:"scaling"`
 }
 
 // legacySortTrial reproduces the pre-batching per-trial code path exactly
@@ -98,6 +155,7 @@ func legacySortTrial(alg meshsort.Algorithm, side int, src rng.Source) (int, err
 func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, error) {
 	alg := meshsort.SnakeA
 	stream := mcbatch.DefaultStream(alg, side)
+	workers := runtime.GOMAXPROCS(0)
 	legacyBest, batchBest := time.Duration(1<<62), time.Duration(1<<62)
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
@@ -112,6 +170,7 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 		start = time.Now()
 		if _, err := mcbatch.Run(mcbatch.Spec{
 			Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+			Workers: workers,
 		}); err != nil {
 			return batchedResult{}, err
 		}
@@ -127,6 +186,8 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 		Trials:           trials,
 		Seed:             seed,
 		Reps:             reps,
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Workers:          workers,
 		LegacyNsPerTrial: legacy,
 		BatchNsPerTrial:  batch,
 		Speedup:          legacy / batch,
@@ -175,63 +236,267 @@ func measureZeroOne(reps, side int) (zeroOneResult, error) {
 		Side:           side,
 		Inputs:         inputs,
 		Reps:           reps,
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
 		ScalarNsPerRun: scalar,
 		PackedNsPerRun: packed,
 		Speedup:        scalar / packed,
 	}, nil
 }
 
+// kernelTrials scales the per-rep trial count down with the mesh area so
+// every side costs roughly the same wall-clock: `trials` is the count at
+// side 32.
+func kernelTrials(trials, side int) int {
+	t := trials * (32 * 32) / (side * side)
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// measureSingleThread compares the three permutation-trial executors at
+// GOMAXPROCS=1 and one worker, interleaved rep by rep: the legacy
+// historical loop, the generic comparator kernel, and the span kernel.
+func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResult, error) {
+	alg := meshsort.SnakeA
+	stream := mcbatch.DefaultStream(alg, side)
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	spec := mcbatch.Spec{
+		Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+		Workers: 1,
+	}
+	legacyBest, genericBest, spanBest := time.Duration(1<<62), time.Duration(1<<62), time.Duration(1<<62)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for trial := 0; trial < trials; trial++ {
+			if _, err := legacySortTrial(alg, side, rng.NewStream(seed, stream(trial))); err != nil {
+				return singleThreadResult{}, err
+			}
+		}
+		if d := time.Since(start); d < legacyBest {
+			legacyBest = d
+		}
+		spec.Kernel = core.KernelGeneric
+		start = time.Now()
+		if _, err := mcbatch.Run(spec); err != nil {
+			return singleThreadResult{}, err
+		}
+		if d := time.Since(start); d < genericBest {
+			genericBest = d
+		}
+		spec.Kernel = core.KernelSpan
+		start = time.Now()
+		if _, err := mcbatch.Run(spec); err != nil {
+			return singleThreadResult{}, err
+		}
+		if d := time.Since(start); d < spanBest {
+			spanBest = d
+		}
+	}
+	legacy := float64(legacyBest.Nanoseconds()) / float64(trials)
+	generic := float64(genericBest.Nanoseconds()) / float64(trials)
+	span := float64(spanBest.Nanoseconds()) / float64(trials)
+	return singleThreadResult{
+		Algorithm:         alg.ShortName(),
+		Side:              side,
+		Trials:            trials,
+		Seed:              seed,
+		Reps:              reps,
+		GOMAXPROCS:        1,
+		Workers:           1,
+		LegacyNsPerTrial:  legacy,
+		GenericNsPerTrial: generic,
+		SpanNsPerTrial:    span,
+		SpanVsLegacy:      legacy / span,
+		SpanVsGeneric:     generic / span,
+		GenericVsLegacy:   legacy / generic,
+	}, nil
+}
+
+// measureScaling times the span kernel at one (side, gomaxprocs) point
+// with one trial worker per proc.
+func measureScaling(reps, trials, side, procs int, seed uint64) (scalingResult, error) {
+	alg := meshsort.SnakeA
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+
+	spec := mcbatch.Spec{
+		Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+		Workers: procs, Kernel: core.KernelSpan,
+	}
+	best := time.Duration(1 << 62)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		if _, err := mcbatch.Run(spec); err != nil {
+			return scalingResult{}, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	ns := float64(best.Nanoseconds()) / float64(trials)
+	return scalingResult{
+		Algorithm:      alg.ShortName(),
+		Side:           side,
+		Trials:         trials,
+		Seed:           seed,
+		Reps:           reps,
+		GOMAXPROCS:     procs,
+		Workers:        procs,
+		SpanNsPerTrial: ns,
+		TrialsPerSec:   1e9 / ns,
+	}, nil
+}
+
+func runBatchSuite(reps, trials int) (any, string, error) {
+	rep := batchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	batched, err := measureBatched(reps, trials, 32, 7)
+	if err != nil {
+		return nil, "", err
+	}
+	rep.Batched = batched
+	for _, side := range []int{32, 64} {
+		zo, err := measureZeroOne(reps, side)
+		if err != nil {
+			return nil, "", err
+		}
+		rep.ZeroOne = append(rep.ZeroOne, zo)
+	}
+	summary := fmt.Sprintf("batched %.2fx, zero-one %.2fx (side 32) / %.2fx (side 64)",
+		rep.Batched.Speedup, rep.ZeroOne[0].Speedup, rep.ZeroOne[1].Speedup)
+	return rep, summary, nil
+}
+
+func runKernelSuite(reps, trials int) (any, string, error) {
+	rep := kernelReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	const seed = 7
+	sides := []int{32, 64, 128}
+	procsSweep := []int{1, 2, 4, 8}
+	for _, side := range sides {
+		st, err := measureSingleThread(reps, kernelTrials(trials, side), side, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		rep.SingleThread = append(rep.SingleThread, st)
+	}
+	for _, side := range sides {
+		var base float64 // single-thread span throughput of this side
+		for _, procs := range procsSweep {
+			sc, err := measureScaling(reps, kernelTrials(trials, side), side, procs, seed)
+			if err != nil {
+				return nil, "", err
+			}
+			if procs == 1 {
+				base = sc.TrialsPerSec
+			}
+			sc.Efficiency = sc.TrialsPerSec / (float64(procs) * base)
+			rep.Scaling = append(rep.Scaling, sc)
+		}
+	}
+	var side64 singleThreadResult
+	for _, st := range rep.SingleThread {
+		if st.Side == 64 {
+			side64 = st
+		}
+	}
+	summary := fmt.Sprintf("span vs legacy %.2fx / vs generic %.2fx at side 64 (single thread, %d cpu)",
+		side64.SpanVsLegacy, side64.SpanVsGeneric, rep.NumCPU)
+	return rep, summary, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbatch:", err)
+	os.Exit(1)
+}
+
 func main() {
 	var (
-		out    = flag.String("out", "BENCH_batch.json", "output file ('-' for stdout)")
-		reps   = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
-		trials = flag.Int("trials", 64, "Monte-Carlo trials per batched rep")
+		suite      = flag.String("suite", "batch", "benchmark suite: batch or kernel")
+		out        = flag.String("out", "", "output file ('-' for stdout; default BENCH_<suite>.json)")
+		reps       = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
+		trials     = flag.Int("trials", 64, "Monte-Carlo trials per rep (kernel suite: count at side 32, scaled by area)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the measurement to this file")
 	)
 	flag.Parse()
 	if *reps < 1 || *trials < 1 {
 		fmt.Fprintf(os.Stderr, "benchbatch: -reps and -trials must be >= 1 (got %d, %d)\n", *reps, *trials)
 		os.Exit(2)
 	}
-
-	rep := report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-	}
-
-	batched, err := measureBatched(*reps, *trials, 32, 7)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchbatch:", err)
-		os.Exit(1)
-	}
-	rep.Batched = batched
-
-	for _, side := range []int{32, 64} {
-		zo, err := measureZeroOne(*reps, side)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchbatch:", err)
-			os.Exit(1)
+	if *out == "" {
+		switch *suite {
+		case "batch":
+			*out = "BENCH_batch.json"
+		case "kernel":
+			*out = "BENCH_kernel.json"
 		}
-		rep.ZeroOne = append(rep.ZeroOne, zo)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var (
+		rep     any
+		summary string
+		err     error
+	)
+	switch *suite {
+	case "batch":
+		rep, summary, err = runBatchSuite(*reps, *trials)
+	case "kernel":
+		rep, summary, err = runKernelSuite(*reps, *trials)
+	default:
+		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch or kernel)\n", *suite)
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *memprofile != "" {
+		f, ferr := os.Create(*memprofile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		runtime.GC()
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			fatal(ferr)
+		}
+		f.Close()
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchbatch:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if *out == "-" {
 		if _, err := os.Stdout.Write(buf); err != nil {
-			fmt.Fprintln(os.Stderr, "benchbatch:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchbatch:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	fmt.Printf("wrote %s: batched %.2fx, zero-one %.2fx (side 32) / %.2fx (side 64)\n",
-		*out, rep.Batched.Speedup, rep.ZeroOne[0].Speedup, rep.ZeroOne[1].Speedup)
+	fmt.Printf("wrote %s: %s\n", *out, summary)
 }

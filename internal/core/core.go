@@ -128,6 +128,16 @@ type Options = engine.Options
 // Result re-exports the engine result.
 type Result = engine.Result
 
+// Kernel re-exports the engine kernel selector, with its values, so
+// harness code can pin an executor family without importing the engine.
+type Kernel = engine.Kernel
+
+const (
+	KernelAuto    = engine.KernelAuto
+	KernelGeneric = engine.KernelGeneric
+	KernelSpan    = engine.KernelSpan
+)
+
 // Sort runs algorithm a on g in place until g is in a.Order().
 func Sort(g *grid.Grid, a Algorithm, opts Options) (Result, error) {
 	return engine.Run(g, a.Schedule(g.Rows(), g.Cols()), opts)

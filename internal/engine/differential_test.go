@@ -81,6 +81,20 @@ func executors() []executor {
 			}
 			return engine.Run(g, s, engine.Options{})
 		}},
+		{name: "generic-kernel", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
+			s, err := sched.Cached(name, rows, cols)
+			if err != nil {
+				return engine.Result{}, err
+			}
+			return engine.Run(g, s, engine.Options{Kernel: engine.KernelGeneric})
+		}},
+		{name: "span-kernel", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
+			s, err := sched.Cached(name, rows, cols)
+			if err != nil {
+				return engine.Result{}, err
+			}
+			return engine.Run(g, s, engine.Options{Kernel: engine.KernelSpan})
+		}},
 		{name: "bit-packed", zeroOneOnly: true, run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
 			ps, err := zeroone.CachedPacked(name, rows, cols)
 			if err != nil {
@@ -182,6 +196,90 @@ func TestDifferentialExecutors(t *testing.T) {
 				t.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(t *testing.T) {
 					run(t, algName, sh.rows, sh.cols)
 				})
+			}
+		})
+	}
+}
+
+// TestDifferentialSpanRandomSides hammers span-vs-generic agreement on
+// randomly drawn mesh shapes: for every schedule, random permutation
+// inputs on random sides must produce bit-identical final grids, Steps,
+// Swaps, and Comparisons from both kernels. This is the acceptance check
+// for the span compilation — including the wrap-around row-major
+// schedules, whose wrap wires fuse into whole-array spans.
+func TestDifferentialSpanRandomSides(t *testing.T) {
+	src := rng.New(0xC0FFEE)
+	const trialsPerAlg = 12
+	for _, algName := range sched.Names() {
+		algName := algName
+		t.Run(algName, func(t *testing.T) {
+			for trial := 0; trial < trialsPerAlg; trial++ {
+				rows := 1 + int(src.Uint64()%17)
+				cols := 1 + int(src.Uint64()%17)
+				if algName == "rm-rf" || algName == "rm-cf" || algName == "rm-rf-nowrap" {
+					if cols%2 != 0 {
+						cols++
+					}
+				}
+				s, err := sched.Cached(algName, rows, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				input := workload.RandomPermutation(src, rows, cols)
+
+				gGen := input.Clone()
+				resGen, errGen := engine.Run(gGen, s, engine.Options{Kernel: engine.KernelGeneric})
+				gSpan := input.Clone()
+				resSpan, errSpan := engine.Run(gSpan, s, engine.Options{Kernel: engine.KernelSpan})
+
+				if errGen != nil || errSpan != nil {
+					t.Fatalf("%dx%d: generic err=%v span err=%v", rows, cols, errGen, errSpan)
+				}
+				if resGen != resSpan {
+					t.Errorf("%dx%d: generic %+v != span %+v", rows, cols, resGen, resSpan)
+				}
+				if !gGen.Equal(gSpan) {
+					t.Errorf("%dx%d: final grids differ:\n%v\nvs\n%v",
+						rows, cols, gGen.Values(), gSpan.Values())
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialSpanStepLimit pins down that the span kernel fails the
+// same way the generic kernel does when the step cap is too small: same
+// ErrStepLimit fields, same partial counters, same partial grid.
+func TestDifferentialSpanStepLimit(t *testing.T) {
+	const rows, cols = 8, 8
+	src := rng.New(99)
+	input := workload.RandomPermutation(src, rows, cols)
+	const maxSteps = 3 // far too few to sort
+
+	for _, algName := range sched.Names() {
+		algName := algName
+		t.Run(algName, func(t *testing.T) {
+			s, err := sched.Cached(algName, rows, cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gGen := input.Clone()
+			resGen, errGen := engine.Run(gGen, s, engine.Options{Kernel: engine.KernelGeneric, MaxSteps: maxSteps})
+			gSpan := input.Clone()
+			resSpan, errSpan := engine.Run(gSpan, s, engine.Options{Kernel: engine.KernelSpan, MaxSteps: maxSteps})
+
+			var limGen, limSpan *engine.ErrStepLimit
+			if !errors.As(errGen, &limGen) || !errors.As(errSpan, &limSpan) {
+				t.Fatalf("expected ErrStepLimit from both, got generic=%v span=%v", errGen, errSpan)
+			}
+			if *limGen != *limSpan {
+				t.Errorf("step-limit errors differ: generic %+v span %+v", *limGen, *limSpan)
+			}
+			if resGen != resSpan {
+				t.Errorf("partial results differ: generic %+v span %+v", resGen, resSpan)
+			}
+			if !gGen.Equal(gSpan) {
+				t.Errorf("partial grids differ:\n%v\nvs\n%v", gGen.Values(), gSpan.Values())
 			}
 		})
 	}

@@ -32,6 +32,10 @@ type Options struct {
 	Observer func(t int, g *grid.Grid)
 	// Tracker overrides the automatically chosen completion tracker.
 	Tracker grid.Tracker
+	// Kernel selects the fast-path executor family (see Kernel). The zero
+	// value, KernelAuto, uses the span kernel whenever the schedule
+	// qualifies.
+	Kernel Kernel
 }
 
 // Result reports what a run did.
@@ -110,6 +114,11 @@ func Run(g *grid.Grid, s sched.Schedule, opts Options) (Result, error) {
 	// arithmetic on every swap.
 	if pool == nil && opts.Observer == nil && opts.Tracker == nil {
 		if dt, ok := tr.(*grid.DistinctTracker); ok {
+			if opts.Kernel != KernelGeneric && spanValuesFit(dt, g.Len()) {
+				if plan := spanPlanFor(s, g); plan != nil {
+					return runDistinctSpans(g, plan, maxSteps, dt)
+				}
+			}
 			return runDistinctLazy(g, planFor(s, g, phases), maxSteps, dt)
 		}
 	}

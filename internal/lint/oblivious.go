@@ -32,7 +32,14 @@ var gridValueReaders = map[string]bool{
 // measurement primitives, no if/for/switch condition may depend on grid
 // cell values. This is what justifies the compiled-schedule cache, the
 // bit-packed 0-1 kernel, and every 0-1-principle argument: the comparator
-// sequence is a function of (step, mesh shape) alone.
+// sequence is a function of (step, mesh shape) alone. It is also what
+// makes the span kernel sound: sched.CompileSpans may classify a step
+// into typed strided sweeps precisely because the comparator set never
+// depends on data, so the compilation is pure index arithmetic and must
+// pass this analyzer with no exemption at all. In the engine's span
+// executor only the settled-window driver (runDistinctSpans) is exempt;
+// the innermost exec sweeps are branchless — min/max and a SETcc-counted
+// swap — and are required to stay taint-free.
 //
 // The check is an intraprocedural taint analysis. Calls to grid.Grid
 // value accessors (At, AtFlat, Cells, …) seed the taint; assignments and

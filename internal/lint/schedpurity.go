@@ -13,18 +13,23 @@ import (
 //   - Step and Phases methods are pure reads: they never write receiver
 //     fields, package-level variables, or captured variables, so a shared
 //     schedule can be stepped from any number of goroutines without
-//     synchronization.
+//     synchronization. The span-program accessors Spans and Comparators
+//     are held to the same contract — sched.CachedSpans shares one
+//     SpanProgram across all concurrent trials exactly like Cached shares
+//     a Compiled.
 //   - Schedule constructors (New*, Compile*, ByName, Cached*) never write
 //     package-level variables directly; process-wide caches must go
 //     through a synchronized container (sync.Map), not a bare global.
+//     CompileSpans and CachedSpans match the Compile*/Cached* prefixes, so
+//     the span compiler's cache is covered by the same rule.
 //
 // A memoizing Step ("cache the last comparator slice in a field") would
 // pass every single-goroutine test and corrupt results only under the
 // worker pool — exactly the regression this analyzer makes impossible.
 var SchedPurity = &Analyzer{
 	Name: "schedpurity",
-	Doc: "Step/Phases methods and schedule constructors must not write " +
-		"receiver fields or package globals (shared read-only schedules)",
+	Doc: "Step/Phases/Spans/Comparators methods and schedule constructors must not " +
+		"write receiver fields or package globals (shared read-only schedules)",
 	Targets: pathIn(
 		"repro/internal/sched",
 		"repro/internal/zeroone",
@@ -32,10 +37,14 @@ var SchedPurity = &Analyzer{
 	Run: runSchedPurity,
 }
 
-// readOnlyMethods are the schedule methods that must stay pure.
+// readOnlyMethods are the schedule methods that must stay pure. Spans and
+// Comparators are the SpanProgram accessors: shared read-only through
+// sched.CachedSpans, so they carry the same no-write contract.
 var readOnlyMethods = map[string]bool{
-	"Step":   true,
-	"Phases": true,
+	"Step":        true,
+	"Phases":      true,
+	"Spans":       true,
+	"Comparators": true,
 }
 
 // isScheduleCtor reports whether a function name is a schedule

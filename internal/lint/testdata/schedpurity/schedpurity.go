@@ -44,6 +44,50 @@ func (c *Closure) Step(t int) []Comparator {
 	return nil
 }
 
+// SpanMemo is a span program whose accessors illegally mutate shared
+// state: Spans memoizes into the receiver and Comparators counts calls in
+// a package global. Both accessors are shared read-only through the span
+// cache, so they carry the same purity contract as Step/Phases.
+type SpanMemo struct {
+	lastSpans []Comparator
+}
+
+var spanExpansions int
+
+func (s *SpanMemo) Spans(t int) []Comparator {
+	s.lastSpans = append(s.lastSpans[:0], Comparator{t, t + 1}) // want "Spans writes receiver state via s"
+	return s.lastSpans
+}
+
+func (s *SpanMemo) Comparators(t int) []Comparator {
+	spanExpansions++ // want "Comparators writes package-level variable spanExpansions"
+	return nil
+}
+
+// SpanPure is a legal span program: accessors allocate fresh locals.
+type SpanPure struct{ n int }
+
+func (p *SpanPure) Spans(t int) []Comparator {
+	return make([]Comparator, 0, p.n)
+}
+
+func (p *SpanPure) Comparators(t int) []Comparator {
+	out := make([]Comparator, 0, p.n)
+	for i := 0; i < p.n; i++ {
+		out = append(out, Comparator{i, i + 1})
+	}
+	return out
+}
+
+var compiledSpanCache map[int]*SpanPure
+
+// CompileSpanMemo is a span compiler that illegally writes a bare package
+// cache (the Compile* prefix puts it under the constructor rule).
+func CompileSpanMemo(n int) *SpanPure {
+	compiledSpanCache = map[int]*SpanPure{} // want "schedule constructor CompileSpanMemo writes package-level variable compiledSpanCache"
+	return &SpanPure{n: n}
+}
+
 // Pure is a legal schedule: it reads the receiver and writes only locals.
 type Pure struct{ n int }
 
@@ -82,3 +126,5 @@ func NewRegistered(n int) *Pure {
 
 var _ = ctorCache
 var _ = registered
+var _ = spanExpansions
+var _ = compiledSpanCache

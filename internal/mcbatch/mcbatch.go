@@ -13,6 +13,11 @@
 //     under any worker count, including Workers=1.
 //   - Per-trial statistics stream into a Welford accumulator, folded in
 //     trial-index order so the floating-point aggregate is deterministic.
+//   - Permutation trials run through the engine's span kernel by default
+//     (engine.KernelAuto): the cached schedule's steps execute as a few
+//     branchless strided sweeps over the backing array instead of one
+//     compare-exchange per comparator struct. Spec.Kernel pins a family
+//     when a benchmark needs to hold one fixed.
 //   - 0-1 workloads can opt into the bit-packed kernel (zeroone.SortPacked),
 //     which applies a whole step's disjoint comparators with bitwise
 //     min/max operations, 64 cells per word.
@@ -100,6 +105,12 @@ type Spec struct {
 	// ZeroOne routes trials through the bit-packed 0-1 kernel. Gen must
 	// then produce grids holding only 0s and 1s.
 	ZeroOne bool
+	// Kernel selects the permutation-trial executor family. The zero
+	// value, core.KernelAuto, picks the span kernel automatically whenever
+	// the schedule compiles into spans; benchmarks pin core.KernelGeneric
+	// to measure the comparator path. Ignored for ZeroOne batches (the
+	// bit-packed kernel owns those).
+	Kernel core.Kernel
 }
 
 // DefaultStream is the harness's seeding scheme for square-mesh step
@@ -186,7 +197,7 @@ func Run(spec Spec) (*Batch, error) {
 		if packed != nil {
 			res, err = zeroone.SortPacked(g, packed, spec.MaxSteps)
 		} else {
-			res, err = core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps})
+			res, err = core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps, Kernel: spec.Kernel})
 		}
 		if err != nil {
 			return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)

@@ -1,0 +1,222 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+)
+
+// Span compilation: every step of every schedule in this package is built
+// from three highly structured comparator families — adjacent pairs inside
+// a row, adjacent pairs between two rows of the same parity, and the
+// row-major wrap-around wires (which are *also* flat-adjacent pairs,
+// because cell (h, C−1) and cell (h+1, 0) are consecutive in row-major
+// memory). A SpanProgram records each step as a handful of typed span
+// operations over the grid's flat backing array instead of a slice of
+// Comparator structs, which is what lets the execution engine run a step
+// as a few branchless strided sweeps (internal/engine's span kernel)
+// rather than one compare-exchange per struct load.
+//
+// The compilation is pure index arithmetic: it looks only at the
+// comparator endpoints, never at grid values, so it preserves the
+// oblivious-schedule property the paper's analysis (and the meshlint
+// oblivious pass) relies on. Schedules whose steps do not decompose into
+// these span shapes simply fail to compile (ok=false) and keep using the
+// generic comparator path.
+
+// HSpan is a run of flat-adjacent compare-exchange pairs: pair k compares
+// flat cells Start+2k and Start+2k+1. With Rev=false the smaller value
+// ends at the left (lower) cell; with Rev=true at the right cell (the
+// snakelike reverse-row direction). Because consecutive pairs are packed
+// two cells apart, a forward row phase of the row-major algorithms — row
+// pairs plus the wrap-around wires — coalesces into a single HSpan
+// covering the whole array.
+type HSpan struct {
+	Start int32 // flat index of the left cell of the first pair
+	Pairs int32 // number of pairs; pair k is (Start+2k, Start+2k+1)
+	Rev   bool  // false: min to the left cell; true: min to the right cell
+}
+
+// VSpan is a run of vertical compare-exchange pairs with a fixed column
+// stride: pair k compares flat cells Top+k·Stride and Top+k·Stride+C,
+// smaller value to the top (every column comparison in the paper does).
+// Stride 1 is a contiguous two-row sweep (uniform-parity column steps);
+// stride 2 covers the alternating-parity column steps of SN-B/SN-C.
+type VSpan struct {
+	Top    int32 // flat index of the top cell of the first pair
+	Stride int32 // flat distance between consecutive pair tops
+	Pairs  int32 // number of pairs in the run
+}
+
+// SpanPhase is one schedule step compiled into typed spans. The spans
+// partition the step's comparator set exactly: expanding every span yields
+// the same pairs the Schedule's Step(t) slice holds (order aside, which is
+// irrelevant because a step's comparators are pairwise disjoint).
+type SpanPhase struct {
+	H     []HSpan
+	V     []VSpan
+	Pairs int // total comparators in the step (spans expand to exactly this many)
+}
+
+// SpanProgram is one full period of a schedule compiled to spans. Like
+// Compiled, a SpanProgram is immutable after construction and safe to
+// share across any number of concurrent trials.
+type SpanProgram struct {
+	rows, cols int
+	phases     []SpanPhase
+}
+
+// Dims returns the mesh dimensions the program was compiled for.
+func (p *SpanProgram) Dims() (rows, cols int) { return p.rows, p.cols }
+
+// Period returns the number of phases (steps per repetition).
+func (p *SpanProgram) Period() int { return len(p.phases) }
+
+// Spans returns the span view of 1-indexed step t. The returned phase is
+// shared and must not be modified.
+func (p *SpanProgram) Spans(t int) *SpanPhase {
+	return &p.phases[(t-1)%len(p.phases)]
+}
+
+// Comparators expands the spans of 1-indexed step t back into explicit
+// comparators. It exists so tests (and the fuzz suite) can prove the
+// compilation lossless against Step(t); the engine never calls it.
+func (p *SpanProgram) Comparators(t int) []Comparator {
+	ph := p.Spans(t)
+	out := make([]Comparator, 0, ph.Pairs)
+	for _, h := range ph.H {
+		for k := int32(0); k < h.Pairs; k++ {
+			left := h.Start + 2*k
+			if h.Rev {
+				out = append(out, Comparator{Lo: left + 1, Hi: left})
+			} else {
+				out = append(out, Comparator{Lo: left, Hi: left + 1})
+			}
+		}
+	}
+	for _, v := range ph.V {
+		for k := int32(0); k < v.Pairs; k++ {
+			top := v.Top + k*v.Stride
+			out = append(out, Comparator{Lo: top, Hi: top + int32(p.cols)})
+		}
+	}
+	return out
+}
+
+// CompileSpans compiles one full period of s into span operations. ok is
+// false when some step contains a comparator that is neither a
+// flat-adjacent pair nor a vertical-adjacent pair, in which case callers
+// must keep using the comparator slices.
+func CompileSpans(s Schedule) (*SpanProgram, bool) {
+	rows, cols := s.Dims()
+	phases := PhasesOf(s)
+	p := &SpanProgram{rows: rows, cols: cols, phases: make([]SpanPhase, len(phases))}
+	for i, comps := range phases {
+		ph, ok := classifyPhase(comps, cols)
+		if !ok {
+			return nil, false
+		}
+		p.phases[i] = ph
+	}
+	return p, true
+}
+
+// classifyPhase buckets one step's comparators into the three span
+// families and coalesces each bucket into maximal constant-stride runs.
+func classifyPhase(comps []Comparator, cols int) (SpanPhase, bool) {
+	var fwd, rev, vert []int32
+	for _, c := range comps {
+		switch c.Hi - c.Lo {
+		case int32(cols):
+			// Vertical pair, min to the top cell. On a one-column mesh this
+			// case is unreachable (the adjacent-pair case below wins) but
+			// the semantics coincide: min to the lower flat index.
+			if cols > 1 {
+				vert = append(vert, c.Lo)
+				continue
+			}
+			fwd = append(fwd, c.Lo)
+		case 1:
+			fwd = append(fwd, c.Lo) // forward pair (includes wrap-around wires)
+		case -1:
+			rev = append(rev, c.Hi) // reverse pair: min to the right cell
+		default:
+			return SpanPhase{}, false
+		}
+	}
+	ph := SpanPhase{Pairs: len(comps)}
+	ph.H = append(coalesceAdjacent(fwd, false), coalesceAdjacent(rev, true)...)
+	ph.V = coalesceVertical(vert)
+	return ph, true
+}
+
+// coalesceAdjacent turns the sorted left-cell indices of adjacent pairs
+// into maximal HSpans: a run continues while consecutive left cells are
+// exactly two apart (the pair width).
+func coalesceAdjacent(lefts []int32, rev bool) []HSpan {
+	if len(lefts) == 0 {
+		return nil
+	}
+	sortInt32(lefts)
+	var out []HSpan
+	for i := 0; i < len(lefts); {
+		j := i + 1
+		for j < len(lefts) && lefts[j]-lefts[j-1] == 2 {
+			j++
+		}
+		out = append(out, HSpan{Start: lefts[i], Pairs: int32(j - i), Rev: rev})
+		i = j
+	}
+	return out
+}
+
+// coalesceVertical turns the sorted top-cell indices of vertical pairs
+// into maximal constant-stride VSpans. Uniform-parity column steps yield
+// stride-1 runs (one per participating row pair, a contiguous two-row
+// sweep); alternating-parity steps yield stride-2 runs.
+func coalesceVertical(tops []int32) []VSpan {
+	if len(tops) == 0 {
+		return nil
+	}
+	sortInt32(tops)
+	var out []VSpan
+	for i := 0; i < len(tops); {
+		j := i + 1
+		var stride int32 = 1
+		if j < len(tops) {
+			stride = tops[j] - tops[i]
+			for j < len(tops) && tops[j]-tops[j-1] == stride {
+				j++
+			}
+		}
+		out = append(out, VSpan{Top: tops[i], Stride: stride, Pairs: int32(j - i)})
+		i = j
+	}
+	return out
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// spanCache memoizes span compilations of shared compiled schedules. A
+// nil entry records "does not classify" so ineligible schedules are not
+// recompiled on every run.
+var spanCache sync.Map // *Compiled -> *SpanProgram (nil = no span form)
+
+// CachedSpans returns the span compilation of c, building it at most once
+// per process. Like the compiled-schedule cache, the result is shared
+// read-only across all callers. ok is false when c does not classify into
+// spans.
+func CachedSpans(c *Compiled) (*SpanProgram, bool) {
+	if v, ok := spanCache.Load(c); ok {
+		p := v.(*SpanProgram)
+		return p, p != nil
+	}
+	p, ok := CompileSpans(c)
+	if !ok {
+		p = nil
+	}
+	v, _ := spanCache.LoadOrStore(c, p)
+	p = v.(*SpanProgram)
+	return p, p != nil
+}
