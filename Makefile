@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel experiments experiments-quick lemmas fmt vet cover lint meshlint
+.PHONY: all build test test-race bench bench-batch bench-kernel experiments experiments-quick lemmas fmt vet cover lint meshlint serve-smoke
 
 all: build vet test
 
@@ -13,7 +13,8 @@ test:
 	$(GO) test ./...
 
 test-race:
-	$(GO) test -race ./internal/engine/ ./internal/experiments/ ./internal/procmesh/
+	$(GO) test -race ./internal/engine/ ./internal/experiments/ ./internal/procmesh/ \
+		./internal/mcbatch/ ./internal/serve/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -49,6 +50,13 @@ vet:
 # (oblivious, schedpurity, detrand, floateq); see docs/INVARIANTS.md.
 meshlint:
 	$(GO) run ./cmd/meshlint ./...
+
+# End-to-end smoke of the trial-serving daemon: boots meshsortd on a
+# random port, serves one job per algorithm through meshsortctl, asserts
+# a cache hit on resubmit, queue-full 429 backpressure, and that SIGTERM
+# drains without dropping a queued job's result.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # lint is the full static gate CI runs: formatting, go vet, meshlint,
 # and — when the tools are installed — staticcheck and govulncheck.

@@ -39,20 +39,20 @@ import (
 	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/mcbatch"
+	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/workload"
 	"repro/internal/zeroone"
 )
 
+// The per-measurement records embed report.SpecJSON — the Spec encoding
+// shared with the meshsortd service API — so the batch-describing field
+// names cannot drift between the bench artifacts and the daemon.
 type batchedResult struct {
-	Algorithm        string  `json:"algorithm"`
-	Side             int     `json:"side"`
-	Trials           int     `json:"trials"`
-	Seed             uint64  `json:"seed"`
+	report.SpecJSON
 	Reps             int     `json:"reps"`
 	GOMAXPROCS       int     `json:"gomaxprocs"`
-	Workers          int     `json:"workers"`
 	LegacyNsPerTrial float64 `json:"legacy_ns_per_trial"`
 	BatchNsPerTrial  float64 `json:"mcbatch_ns_per_trial"`
 	Speedup          float64 `json:"speedup"`
@@ -77,15 +77,12 @@ type batchReport struct {
 }
 
 // singleThreadResult is one gomaxprocs=1 comparison of the three
-// permutation-trial executors on one side.
+// permutation-trial executors on one side. The embedded spec's kernel
+// field is left empty: the record compares all three executor families.
 type singleThreadResult struct {
-	Algorithm         string  `json:"algorithm"`
-	Side              int     `json:"side"`
-	Trials            int     `json:"trials"`
-	Seed              uint64  `json:"seed"`
+	report.SpecJSON
 	Reps              int     `json:"reps"`
 	GOMAXPROCS        int     `json:"gomaxprocs"`
-	Workers           int     `json:"workers"`
 	LegacyNsPerTrial  float64 `json:"legacy_ns_per_trial"`
 	GenericNsPerTrial float64 `json:"generic_ns_per_trial"`
 	SpanNsPerTrial    float64 `json:"span_ns_per_trial"`
@@ -100,13 +97,9 @@ type singleThreadResult struct {
 // gomaxprocs it is bounded by num_cpu/gomaxprocs, which is why the report
 // records num_cpu.
 type scalingResult struct {
-	Algorithm      string  `json:"algorithm"`
-	Side           int     `json:"side"`
-	Trials         int     `json:"trials"`
-	Seed           uint64  `json:"seed"`
+	report.SpecJSON
 	Reps           int     `json:"reps"`
 	GOMAXPROCS     int     `json:"gomaxprocs"`
-	Workers        int     `json:"workers"`
 	SpanNsPerTrial float64 `json:"span_ns_per_trial"`
 	TrialsPerSec   float64 `json:"trials_per_sec"`
 	Efficiency     float64 `json:"efficiency"`
@@ -156,6 +149,10 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 	alg := meshsort.SnakeA
 	stream := mcbatch.DefaultStream(alg, side)
 	workers := runtime.GOMAXPROCS(0)
+	spec := mcbatch.Spec{
+		Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+		Workers: workers,
+	}
 	legacyBest, batchBest := time.Duration(1<<62), time.Duration(1<<62)
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
@@ -168,10 +165,7 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 			legacyBest = d
 		}
 		start = time.Now()
-		if _, err := mcbatch.Run(mcbatch.Spec{
-			Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
-			Workers: workers,
-		}); err != nil {
+		if _, err := mcbatch.Run(spec); err != nil {
 			return batchedResult{}, err
 		}
 		if d := time.Since(start); d < batchBest {
@@ -180,14 +174,12 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 	}
 	legacy := float64(legacyBest.Nanoseconds()) / float64(trials)
 	batch := float64(batchBest.Nanoseconds()) / float64(trials)
+	enc := report.SpecOf(spec)
+	enc.Kernel = "" // the record compares executors, so no single kernel applies
 	return batchedResult{
-		Algorithm:        alg.ShortName(),
-		Side:             side,
-		Trials:           trials,
-		Seed:             seed,
+		SpecJSON:         enc,
 		Reps:             reps,
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		Workers:          workers,
 		LegacyNsPerTrial: legacy,
 		BatchNsPerTrial:  batch,
 		Speedup:          legacy / batch,
@@ -298,14 +290,13 @@ func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResul
 	legacy := float64(legacyBest.Nanoseconds()) / float64(trials)
 	generic := float64(genericBest.Nanoseconds()) / float64(trials)
 	span := float64(spanBest.Nanoseconds()) / float64(trials)
+	spec.Kernel = core.KernelAuto
+	enc := report.SpecOf(spec)
+	enc.Kernel = "" // the record compares executors, so no single kernel applies
 	return singleThreadResult{
-		Algorithm:         alg.ShortName(),
-		Side:              side,
-		Trials:            trials,
-		Seed:              seed,
+		SpecJSON:          enc,
 		Reps:              reps,
 		GOMAXPROCS:        1,
-		Workers:           1,
 		LegacyNsPerTrial:  legacy,
 		GenericNsPerTrial: generic,
 		SpanNsPerTrial:    span,
@@ -338,13 +329,9 @@ func measureScaling(reps, trials, side, procs int, seed uint64) (scalingResult, 
 	}
 	ns := float64(best.Nanoseconds()) / float64(trials)
 	return scalingResult{
-		Algorithm:      alg.ShortName(),
-		Side:           side,
-		Trials:         trials,
-		Seed:           seed,
+		SpecJSON:       report.SpecOf(spec),
 		Reps:           reps,
 		GOMAXPROCS:     procs,
-		Workers:        procs,
 		SpanNsPerTrial: ns,
 		TrialsPerSec:   1e9 / ns,
 	}, nil
@@ -405,7 +392,7 @@ func runKernelSuite(reps, trials int) (any, string, error) {
 	}
 	var side64 singleThreadResult
 	for _, st := range rep.SingleThread {
-		if st.Side == 64 {
+		if st.Rows == 64 {
 			side64 = st
 		}
 	}

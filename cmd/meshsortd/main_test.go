@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrains boots the daemon on a free port, checks the
+// endpoints respond, then cancels the context (as SIGTERM would) and
+// verifies a clean exit.
+func TestRunServesAndDrains(t *testing.T) {
+	portfile := filepath.Join(t.TempDir(), "port")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var stdout, stderr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-portfile", portfile,
+			"-log-level", "error",
+		}, &stdout, &stderr)
+	}()
+
+	var port string
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if b, err := os.ReadFile(portfile); err == nil && len(b) > 0 {
+			port = strings.TrimSpace(string(b))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("portfile never appeared; stderr: %s", stderr.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://127.0.0.1:" + port + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("run exited %d; stderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down after cancel")
+	}
+	if !strings.Contains(stdout.String(), "meshsortd listening on") {
+		t.Fatalf("missing listen banner in stdout: %q", stdout.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"extra"}, &out, &errb); code != 2 {
+		t.Fatalf("positional arg exit = %d, want 2", code)
+	}
+	if code := run(context.Background(), []string{"-log-level", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("bad log level exit = %d, want 2", code)
+	}
+}

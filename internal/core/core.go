@@ -138,6 +138,37 @@ const (
 	KernelSpan    = engine.KernelSpan
 )
 
+// KernelName returns the wire/CLI identifier of a kernel selector. It is
+// the inverse of KernelByName and the encoding used by the benchbatch
+// reports and the meshsortd JSON API.
+func KernelName(k Kernel) string {
+	switch k {
+	case KernelAuto:
+		return "auto"
+	case KernelGeneric:
+		return "generic"
+	case KernelSpan:
+		return "span"
+	default:
+		return fmt.Sprintf("kernel%d", int(k))
+	}
+}
+
+// KernelByName resolves a kernel identifier; the empty string means
+// KernelAuto (the zero value), so omitted wire fields parse cleanly.
+func KernelByName(name string) (Kernel, error) {
+	switch name {
+	case "", "auto":
+		return KernelAuto, nil
+	case "generic":
+		return KernelGeneric, nil
+	case "span":
+		return KernelSpan, nil
+	default:
+		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic or span)", name)
+	}
+}
+
 // Sort runs algorithm a on g in place until g is in a.Order().
 func Sort(g *grid.Grid, a Algorithm, opts Options) (Result, error) {
 	return engine.Run(g, a.Schedule(g.Rows(), g.Cols()), opts)

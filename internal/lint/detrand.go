@@ -33,6 +33,11 @@ var DetRand = &Analyzer{
 		}
 		switch path {
 		// benchbatch is deliberately excluded: it measures wall time.
+		// meshsortd and meshsortctl are excluded for the same reason
+		// (request logging, drain timeouts, client poll deadlines); the
+		// serving core they wrap, repro/internal/serve, IS covered —
+		// its one wall-clock window is the file-exempted clock.go, and
+		// durations feed only logs and /metrics, never result payloads.
 		case "repro/cmd/experiments", "repro/cmd/lemmas", "repro/cmd/mesh2dsort", "repro/cmd/meshlint":
 			return true
 		}

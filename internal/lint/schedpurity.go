@@ -26,6 +26,12 @@ import (
 // A memoizing Step ("cache the last comparator slice in a field") would
 // pass every single-goroutine test and corrupt results only under the
 // worker pool — exactly the regression this analyzer makes impossible.
+//
+// internal/serve is covered for the constructor half of the contract:
+// NewServer (and any future New*/Compile*/Cached* helper there) is called
+// once per daemon but shares its Server across every handler goroutine,
+// so state must live in struct fields guarded by the Server's own
+// synchronization, never in bare package globals.
 var SchedPurity = &Analyzer{
 	Name: "schedpurity",
 	Doc: "Step/Phases/Spans/Comparators methods and schedule constructors must not " +
@@ -33,6 +39,7 @@ var SchedPurity = &Analyzer{
 	Targets: pathIn(
 		"repro/internal/sched",
 		"repro/internal/zeroone",
+		"repro/internal/serve",
 	),
 	Run: runSchedPurity,
 }

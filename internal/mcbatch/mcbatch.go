@@ -24,6 +24,7 @@
 package mcbatch
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -39,15 +40,29 @@ import (
 )
 
 // Map runs fn(0..n-1) across a pool of `workers` goroutines (0 means
+// GOMAXPROCS) and returns the results in index order. It is MapCtx with
+// a background context: the batch always runs to completion.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), workers, n, fn)
+}
+
+// MapCtx runs fn(0..n-1) across a pool of `workers` goroutines (0 means
 // GOMAXPROCS) and returns the results in index order. Work is handed out
 // by an atomic counter, so any worker may run any index — determinism is
 // the callback's job: fn must depend only on its index (the per-trial RNG
 // stream discipline). If several calls fail, the error of the smallest
 // index is returned, so the reported failure is also deterministic.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+//
+// Cancelling ctx stops the batch between indices: every worker checks the
+// context before claiming the next index, so a timed-out or abandoned
+// caller stops burning CPU after at most one in-flight fn call per worker.
+// A cancelled batch returns ctx's error (it wins over any fn error, which
+// keeps the reported failure deterministic under racing cancellation) and
+// nil results.
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -62,7 +77,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
@@ -72,6 +87,9 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -148,8 +166,17 @@ func (b *Batch) StepCounts() []int {
 	return out
 }
 
-// Run executes the batch described by spec.
+// Run executes the batch described by spec to completion.
 func Run(spec Spec) (*Batch, error) {
+	return RunCtx(context.Background(), spec)
+}
+
+// RunCtx executes the batch described by spec until it completes or ctx is
+// cancelled. Cancellation takes effect between trials (each worker checks
+// the context before claiming another trial index), so an abandoned HTTP
+// job or an expired deadline stops the pool after at most one in-flight
+// trial per worker; a cancelled batch returns ctx's error.
+func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 	if spec.Trials < 0 {
 		return nil, fmt.Errorf("mcbatch: negative trial count %d", spec.Trials)
 	}
@@ -166,10 +193,7 @@ func Run(spec Spec) (*Batch, error) {
 			return workload.RandomPermutation(src, spec.Rows, spec.Cols)
 		}
 	}
-	seed := spec.Seed
-	if seed == 0 {
-		seed = 1
-	}
+	seed := CanonicalSeed(spec.Seed)
 
 	name := spec.Algorithm.ShortName()
 	var packed *zeroone.PackedSchedule
@@ -205,7 +229,7 @@ func Run(spec Spec) (*Batch, error) {
 		return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
 	}
 
-	trials, err := Map(spec.Workers, spec.Trials, runTrial)
+	trials, err := MapCtx(ctx, spec.Workers, spec.Trials, runTrial)
 	if err != nil {
 		return nil, err
 	}

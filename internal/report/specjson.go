@@ -1,0 +1,67 @@
+package report
+
+import (
+	"repro/internal/core"
+	"repro/internal/mcbatch"
+)
+
+// SpecJSON is the one canonical JSON encoding of a batched trial Spec,
+// shared by every artifact that describes a batch on the wire: the
+// benchbatch measurement records (BENCH_batch.json, BENCH_kernel.json)
+// embed it, and the meshsortd result payloads echo it. Keeping a single
+// struct keeps the field names from drifting between the bench reports
+// and the service API.
+//
+// Functional Spec fields (Stream, Gen) have no wire form and are omitted;
+// a Spec carrying them should be described by its canonical resolution
+// (see mcbatch.Spec.Hash) or not at all.
+type SpecJSON struct {
+	Algorithm string `json:"algorithm"`
+	Rows      int    `json:"rows"`
+	Cols      int    `json:"cols"`
+	Trials    int    `json:"trials"`
+	Seed      uint64 `json:"seed"`
+	MaxSteps  int    `json:"max_steps,omitempty"`
+	ZeroOne   bool   `json:"zeroone,omitempty"`
+	// Kernel and Workers are execution hints: they cannot change results
+	// (the determinism contract) and are excluded from the cache key, but
+	// bench records keep them because they explain the timings.
+	Kernel  string `json:"kernel,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+}
+
+// SpecOf encodes s. Defaulted fields are passed through untouched (a
+// bench record should say what was asked for); callers that need the
+// resolved canonical form — e.g. a content-addressed result payload —
+// should use CanonicalSpecOf.
+func SpecOf(s mcbatch.Spec) SpecJSON {
+	return SpecJSON{
+		Algorithm: s.Algorithm.ShortName(),
+		Rows:      s.Rows,
+		Cols:      s.Cols,
+		Trials:    s.Trials,
+		Seed:      s.Seed,
+		MaxSteps:  s.MaxSteps,
+		ZeroOne:   s.ZeroOne,
+		Kernel:    core.KernelName(s.Kernel),
+		Workers:   s.Workers,
+	}
+}
+
+// CanonicalSpecOf encodes s with every defaulted field resolved (Seed,
+// MaxSteps) and the result-neutral execution hints (Kernel, Workers)
+// cleared, mirroring the mcbatch.Spec.Hash cache-key contract: two Specs
+// with equal hashes encode to the identical CanonicalSpecOf value, so a
+// content-addressed payload embedding it stays byte-identical no matter
+// which submission populated the cache.
+func CanonicalSpecOf(s mcbatch.Spec) SpecJSON {
+	return SpecJSON{
+		Algorithm: s.Algorithm.ShortName(),
+		Rows:      s.Rows,
+		Cols:      s.Cols,
+		Trials:    s.Trials,
+		Seed:      mcbatch.CanonicalSeed(s.Seed),
+		MaxSteps:  mcbatch.CanonicalMaxSteps(s.MaxSteps, s.Rows, s.Cols),
+		ZeroOne:   s.ZeroOne,
+	}
+}

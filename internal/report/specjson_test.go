@@ -1,0 +1,55 @@
+package report
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcbatch"
+)
+
+// TestSpecJSONFieldNames pins the wire encoding shared by the bench
+// reports and the meshsortd API: renaming a json tag is a breaking change
+// to both, and this test is the tripwire.
+func TestSpecJSONFieldNames(t *testing.T) {
+	spec := mcbatch.Spec{
+		Algorithm: core.SnakeC, Rows: 4, Cols: 6, Trials: 9, Seed: 42,
+		MaxSteps: 77, Kernel: core.KernelSpan, Workers: 3,
+	}
+	buf, err := json.Marshal(SpecOf(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"algorithm":"snake-c","rows":4,"cols":6,"trials":9,"seed":42,"max_steps":77,"kernel":"span","workers":3}`
+	if string(buf) != want {
+		t.Fatalf("SpecOf encoding drifted:\n got %s\nwant %s", buf, want)
+	}
+}
+
+// TestCanonicalSpecOfMatchesHashContract checks that hash-equal Specs
+// produce identical canonical encodings.
+func TestCanonicalSpecOfMatchesHashContract(t *testing.T) {
+	a := mcbatch.Spec{Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 10}
+	b := mcbatch.Spec{
+		Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 10, Seed: 1,
+		MaxSteps: mcbatch.CanonicalMaxSteps(0, 8, 8),
+		Kernel:   core.KernelGeneric, Workers: 5,
+	}
+	ha, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatal("test premise broken: specs are meant to hash equal")
+	}
+	if CanonicalSpecOf(a) != CanonicalSpecOf(b) {
+		t.Fatalf("hash-equal specs encode differently:\n%+v\n%+v", CanonicalSpecOf(a), CanonicalSpecOf(b))
+	}
+	if CanonicalSpecOf(a).Kernel != "" || CanonicalSpecOf(a).Workers != 0 {
+		t.Fatal("canonical encoding must clear the result-neutral hints")
+	}
+}

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/mcbatch"
+)
+
+// resultCache is the content-addressed result store: finished payloads
+// keyed by the canonical mcbatch.Key of their Spec, bounded by an LRU
+// eviction policy. Because the key covers exactly the fields that
+// determine results (see mcbatch.Spec.Hash and docs/INVARIANTS.md), a hit
+// can be returned verbatim — byte-identical to the payload the original
+// execution produced — without re-running a single trial.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[mcbatch.Key]*list.Element
+}
+
+type cacheEntry struct {
+	key     mcbatch.Key
+	payload []byte
+}
+
+func newResultCache(max int) *resultCache {
+	if max < 1 {
+		max = 1
+	}
+	return &resultCache{
+		max:   max,
+		ll:    list.New(),
+		items: make(map[mcbatch.Key]*list.Element),
+	}
+}
+
+// get returns the payload stored under key and refreshes its recency.
+func (c *resultCache) get(key mcbatch.Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// put stores payload under key, evicting the least recently used entry
+// when the cache is full. Payloads are immutable once stored: callers must
+// not modify the slice after put (the daemon never does — payloads are
+// freshly marshaled JSON).
+func (c *resultCache) put(key mcbatch.Key, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).payload = payload
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

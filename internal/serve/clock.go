@@ -1,0 +1,21 @@
+package serve
+
+// This file is the service layer's only window onto the wall clock. The
+// detrand analyzer forbids time.Now/Since in internal/ packages because
+// wall-clock input silently breaks the (seed, algorithm, side, trial) →
+// bit-identical-results contract; a daemon, however, legitimately needs
+// durations for request logs and the /metrics latency histograms. The
+// compromise is structural: every wall-clock read lives here, nothing in
+// this file can reach a result payload (payloads are built purely from
+// mcbatch.Batch values), and the exemption below keeps the whole
+// arrangement greppable and auditable.
+//
+//meshlint:file-exempt detrand observability timing only: durations feed logs and /metrics, never result payloads
+
+import "time"
+
+// monoNow returns an opaque monotonic timestamp for duration measurement.
+func monoNow() time.Time { return time.Now() }
+
+// monoSince returns the nanoseconds elapsed since a monoNow timestamp.
+func monoSince(t time.Time) int64 { return int64(time.Since(t)) }

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics is meshsortd's dependency-free observability surface: a fixed
+// set of counters, gauges and one histogram, rendered in the Prometheus
+// text exposition format by writeProm. Everything is atomics — the hot
+// path (one job completion) touches a handful of counters and never takes
+// a lock — and the rendering order is a fixed code sequence, so scrapes
+// are deterministic and detrand-clean (no map iteration).
+type metrics struct {
+	jobsSubmitted atomic.Int64 // accepted submissions, incl. cache hits and dedups
+	jobsRejected  atomic.Int64 // queue-full 429s
+	jobsDeduped   atomic.Int64 // submissions attached to an identical in-flight job
+	jobsOK        atomic.Int64 // jobs completed successfully (executed, not cached)
+	jobsFailed    atomic.Int64 // jobs that errored
+	jobsCanceled  atomic.Int64 // jobs stopped by timeout or shutdown
+	cacheHits     atomic.Int64 // submissions served from the result cache
+	cacheMisses   atomic.Int64 // submissions that had to execute
+	running       atomic.Int64 // jobs currently executing
+	trialNs       nsHistogram  // ns per trial of completed jobs
+}
+
+// trialNsBuckets are the upper bounds (inclusive, in nanoseconds) of the
+// ns/trial histogram: 1µs to 100ms in a 1-5 ladder, covering a tiny 8×8
+// span-kernel trial up to a large mesh on a loaded box.
+var trialNsBuckets = [...]int64{
+	1_000, 5_000, 10_000, 50_000, 100_000, 500_000,
+	1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000,
+}
+
+// nsHistogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: counts[i] is the number of observations ≤ trialNsBuckets[i], the
+// last slot is +Inf.
+type nsHistogram struct {
+	counts [len(trialNsBuckets) + 1]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *nsHistogram) observe(ns int64) {
+	i := 0
+	for i < len(trialNsBuckets) && ns > trialNsBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(ns)
+	h.n.Add(1)
+}
+
+// writeProm renders the metrics. queueDepth/queueCap and cacheLen/cacheCap
+// are sampled by the caller because they live in the queue channel and the
+// cache, not in the counter set.
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("meshsortd_jobs_submitted_total",
+		"Accepted job submissions, including cache hits and singleflight dedups.",
+		m.jobsSubmitted.Load())
+	counter("meshsortd_jobs_rejected_total",
+		"Submissions rejected with 429 because the job queue was full.",
+		m.jobsRejected.Load())
+	counter("meshsortd_jobs_deduped_total",
+		"Submissions attached to an identical job already queued or running.",
+		m.jobsDeduped.Load())
+
+	fmt.Fprintf(w, "# HELP meshsortd_jobs_completed_total Executed jobs by terminal status.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "meshsortd_jobs_completed_total{status=\"ok\"} %d\n", m.jobsOK.Load())
+	fmt.Fprintf(w, "meshsortd_jobs_completed_total{status=\"error\"} %d\n", m.jobsFailed.Load())
+	fmt.Fprintf(w, "meshsortd_jobs_completed_total{status=\"canceled\"} %d\n", m.jobsCanceled.Load())
+
+	counter("meshsortd_cache_hits_total",
+		"Submissions answered from the content-addressed result cache.",
+		m.cacheHits.Load())
+	counter("meshsortd_cache_misses_total",
+		"Submissions whose key was absent from the result cache.",
+		m.cacheMisses.Load())
+
+	gauge("meshsortd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
+	gauge("meshsortd_queue_capacity", "Capacity of the job queue.", int64(queueCap))
+	gauge("meshsortd_jobs_running", "Jobs currently executing.", m.running.Load())
+	gauge("meshsortd_cache_entries", "Entries in the result cache.", int64(cacheLen))
+	gauge("meshsortd_cache_capacity", "Capacity of the result cache.", int64(cacheCap))
+
+	fmt.Fprintf(w, "# HELP meshsortd_job_trial_ns Nanoseconds per trial of completed jobs.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_job_trial_ns histogram\n")
+	cum := int64(0)
+	for i, le := range trialNsBuckets {
+		cum += m.trialNs.counts[i].Load()
+		fmt.Fprintf(w, "meshsortd_job_trial_ns_bucket{le=\"%d\"} %d\n", le, cum)
+	}
+	cum += m.trialNs.counts[len(trialNsBuckets)].Load()
+	fmt.Fprintf(w, "meshsortd_job_trial_ns_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "meshsortd_job_trial_ns_sum %d\n", m.trialNs.sum.Load())
+	fmt.Fprintf(w, "meshsortd_job_trial_ns_count %d\n", m.trialNs.n.Load())
+}

@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/mcbatch"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// JobRequest is the wire form of one trial-batch job, the body of
+// POST /v1/jobs and POST /v1/sort. Either side (square mesh) or rows+cols
+// must be given. The zero seed means the harness default (1), kernel ""
+// means auto, and zeroone routes the batch through the bit-packed 0-1
+// kernel on the paper's half-0/half-1 workload instead of random
+// permutations.
+type JobRequest struct {
+	Algorithm string `json:"algorithm"`
+	Side      int    `json:"side,omitempty"`
+	Rows      int    `json:"rows,omitempty"`
+	Cols      int    `json:"cols,omitempty"`
+	Trials    int    `json:"trials"`
+	Seed      uint64 `json:"seed,omitempty"`
+	MaxSteps  int    `json:"max_steps,omitempty"`
+	Kernel    string `json:"kernel,omitempty"`
+	ZeroOne   bool   `json:"zeroone,omitempty"`
+}
+
+// Limits bounds what a single job may ask for, so one request cannot pin
+// the daemon for hours. Zero fields take the package defaults.
+type Limits struct {
+	// MaxTrials caps JobRequest.Trials.
+	MaxTrials int
+	// MaxCells caps Rows×Cols.
+	MaxCells int
+}
+
+const (
+	defaultMaxTrials = 1_000_000
+	defaultMaxCells  = 1 << 21 // e.g. 1448×1448, ~2M cells
+)
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxTrials <= 0 {
+		l.MaxTrials = defaultMaxTrials
+	}
+	if l.MaxCells <= 0 {
+		l.MaxCells = defaultMaxCells
+	}
+	return l
+}
+
+// ToSpec validates the request against lim and converts it to a batch
+// Spec. The returned Spec carries no functional fields (Stream, Gen are
+// nil) and no execution hints (Workers, Kernel are chosen by the daemon at
+// run time), so it is exactly the content-addressable form that
+// mcbatch.Spec.Hash keys the result cache with — except Kernel, which is
+// parsed here so a bad name fails at submit time, and recorded in the Spec
+// for the executor even though the hash ignores it.
+func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
+	lim = lim.withDefaults()
+	alg, err := core.ByName(r.Algorithm)
+	if err != nil {
+		return mcbatch.Spec{}, fmt.Errorf("algorithm: %w", err)
+	}
+	kernel, err := core.KernelByName(r.Kernel)
+	if err != nil {
+		return mcbatch.Spec{}, fmt.Errorf("kernel: %w", err)
+	}
+	rows, cols := r.Rows, r.Cols
+	switch {
+	case r.Side != 0 && (rows != 0 || cols != 0):
+		return mcbatch.Spec{}, fmt.Errorf("give either side or rows+cols, not both")
+	case r.Side != 0:
+		rows, cols = r.Side, r.Side
+	}
+	if rows < 1 || cols < 1 {
+		return mcbatch.Spec{}, fmt.Errorf("invalid mesh %dx%d: rows and cols (or side) must be >= 1", rows, cols)
+	}
+	if rows*cols > lim.MaxCells {
+		return mcbatch.Spec{}, fmt.Errorf("mesh %dx%d exceeds the %d-cell limit", rows, cols, lim.MaxCells)
+	}
+	if r.Trials < 1 {
+		return mcbatch.Spec{}, fmt.Errorf("trials must be >= 1 (got %d)", r.Trials)
+	}
+	if r.Trials > lim.MaxTrials {
+		return mcbatch.Spec{}, fmt.Errorf("trials %d exceeds the limit %d", r.Trials, lim.MaxTrials)
+	}
+	if r.MaxSteps < 0 {
+		return mcbatch.Spec{}, fmt.Errorf("max_steps must be >= 0 (got %d)", r.MaxSteps)
+	}
+	return mcbatch.Spec{
+		Algorithm: alg,
+		Rows:      rows,
+		Cols:      cols,
+		Trials:    r.Trials,
+		Seed:      r.Seed,
+		MaxSteps:  r.MaxSteps,
+		ZeroOne:   r.ZeroOne,
+		Kernel:    kernel,
+	}, nil
+}
+
+// zeroOneGen is the canonical generator of ZeroOne jobs: the paper's
+// half-0/half-1 workload, drawn from the trial's private stream. It is
+// installed by the executor after the Spec has been hashed — the ZeroOne
+// flag in the key fully determines it, which is what keeps zero-one jobs
+// content-addressable despite Gen being a functional field.
+func zeroOneGen(rows, cols int) func(src rng.Source, trial int) *grid.Grid {
+	return func(src rng.Source, _ int) *grid.Grid {
+		return workload.HalfZeroOne(src, rows, cols)
+	}
+}

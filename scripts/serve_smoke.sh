@@ -1,0 +1,121 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end exercise of the meshsortd daemon and the
+# meshsortctl client (see docs/DESIGN.md, service layer):
+#
+#   1. boot meshsortd on a random port (-portfile handshake), queue depth 1;
+#   2. serve one trial-batch job per paper algorithm via meshsortctl run;
+#   3. resubmit one spec and assert the content-addressed cache answered
+#      (meshsortd_cache_hits_total increments, response header says hit);
+#   4. overflow the job queue and assert 429 backpressure (ctl exit 3);
+#   5. SIGTERM the daemon with one job running and one queued, and assert
+#      the queued job's result is still delivered (graceful drain) and the
+#      daemon exits 0.
+#
+# Stdlib-only, no curl/jq required. Run via `make serve-smoke`.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+DPID=""
+cleanup() {
+    status=$?
+    [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$TMP"
+    [ "$status" -eq 0 ] && echo "serve-smoke: PASS" || echo "serve-smoke: FAIL (exit $status)"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+$GO build -o "$TMP/meshsortd" ./cmd/meshsortd
+$GO build -o "$TMP/meshsortctl" ./cmd/meshsortctl
+
+# Queue depth 1 + concurrency 1 makes backpressure reachable with three
+# submits; drain-grace 2s gives the background poller room to collect its
+# result after the drain finishes.
+"$TMP/meshsortd" -addr 127.0.0.1:0 -portfile "$TMP/port" \
+    -concurrency 1 -queue 1 -drain-grace 2s -log-level warn &
+DPID=$!
+
+i=0
+while [ ! -s "$TMP/port" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "serve-smoke: daemon never wrote portfile" >&2; exit 1; }
+    sleep 0.1
+done
+ADDR="127.0.0.1:$(cat "$TMP/port")"
+echo "serve-smoke: daemon up at $ADDR"
+
+ctl() { "$TMP/meshsortctl" "$@" -addr "$ADDR"; }
+
+# metric NAME — scrape one (unlabelled) counter value from /metrics.
+metric() {
+    ctl metrics | awk -v name="$1" '$1 == name { print $2 }'
+}
+
+ctl health | grep -q '^ok$' || { echo "serve-smoke: healthz failed" >&2; exit 1; }
+
+echo "serve-smoke: serving one job per algorithm"
+for alg in rm-rf rm-cf snake-a snake-b snake-c; do
+    ctl run -alg "$alg" -side 8 -trials 32 -seed 7 > "$TMP/run.$alg.out"
+    grep -q '^steps' "$TMP/run.$alg.out" || {
+        echo "serve-smoke: no steps row for $alg" >&2
+        cat "$TMP/run.$alg.out" >&2
+        exit 1
+    }
+done
+
+echo "serve-smoke: resubmitting snake-a, expecting a cache hit"
+hits_before=$(metric meshsortd_cache_hits_total)
+ctl run -alg snake-a -side 8 -trials 32 -seed 7 > "$TMP/rerun.out"
+grep -q 'cache hit' "$TMP/rerun.out" || {
+    echo "serve-smoke: resubmit was not served from cache" >&2
+    cat "$TMP/rerun.out" >&2
+    exit 1
+}
+hits_after=$(metric meshsortd_cache_hits_total)
+if [ "$hits_after" -le "$hits_before" ]; then
+    echo "serve-smoke: cache_hits_total did not increase ($hits_before -> $hits_after)" >&2
+    exit 1
+fi
+
+echo "serve-smoke: overflowing the queue (expect 429 -> ctl exit 3)"
+# Two ~3s jobs fill the single executor and the depth-1 queue; the third
+# submit must be rejected with 429, which meshsortctl maps to exit 3.
+jobid() { sed -n 's/.*"id": "\([^"]*\)".*/\1/p'; }
+ctl submit -alg snake-b -side 48 -trials 2000 -seed 101 > /dev/null
+QID=$(ctl submit -alg snake-b -side 48 -trials 2000 -seed 102 | jobid)
+[ -n "$QID" ] || { echo "serve-smoke: second submit returned no id" >&2; exit 1; }
+set +e
+ctl submit -alg snake-b -side 48 -trials 2000 -seed 103 2> "$TMP/reject.err"
+rc=$?
+set -e
+if [ "$rc" -ne 3 ]; then
+    echo "serve-smoke: overflow submit exited $rc, want 3" >&2
+    cat "$TMP/reject.err" >&2
+    exit 1
+fi
+grep -q 'queue full' "$TMP/reject.err" || {
+    echo "serve-smoke: 429 without queue-full message" >&2
+    exit 1
+}
+
+echo "serve-smoke: SIGTERM with a job queued; result must still arrive"
+ctl await -id "$QID" -timeout 60s > "$TMP/await.out" 2> "$TMP/await.err" &
+AWPID=$!
+sleep 0.2
+kill -TERM "$DPID"
+if ! wait "$AWPID"; then
+    echo "serve-smoke: await failed across drain" >&2
+    cat "$TMP/await.err" >&2
+    exit 1
+fi
+grep -q '^steps' "$TMP/await.out" || {
+    echo "serve-smoke: drained result has no steps row" >&2
+    cat "$TMP/await.out" >&2
+    exit 1
+}
+if ! wait "$DPID"; then
+    echo "serve-smoke: daemon exited non-zero after SIGTERM" >&2
+    exit 1
+fi
+DPID=""
