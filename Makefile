@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel experiments experiments-quick lemmas fmt vet cover lint meshlint serve-smoke
+.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone experiments experiments-quick lemmas fmt vet cover lint meshlint serve-smoke
 
 all: build vet test
 
@@ -30,6 +30,12 @@ bench-batch:
 # to capture a profile of the sweep.
 bench-kernel:
 	$(GO) run ./cmd/benchbatch -suite kernel -out BENCH_kernel.json $(BENCHFLAGS)
+
+# 0-1 kernel-family sweep: cellwise vs cell-packed vs trial-sliced
+# ns/trial per side, with a built-in lockstep-equivalence differential
+# (writes BENCH_zeroone.json at the repo root).
+bench-zeroone:
+	$(GO) run ./cmd/benchbatch -suite zeroone -out BENCH_zeroone.json $(BENCHFLAGS)
 
 experiments:
 	$(GO) run ./cmd/experiments

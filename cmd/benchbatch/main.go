@@ -1,5 +1,5 @@
 // Command benchbatch measures the headline speedups of the Monte-Carlo
-// trial machinery and writes them as machine-readable JSON. It has two
+// trial machinery and writes them as machine-readable JSON. It has three
 // suites:
 //
 //   - batch (default, BENCH_batch.json via `make bench-batch`): the
@@ -12,16 +12,29 @@
 //     generic-kernel vs span-kernel ns/trial, and span-kernel trial
 //     throughput across GOMAXPROCS in {1, 2, 4, 8} with parallel
 //     efficiency relative to the single-thread point.
+//   - zeroone (BENCH_zeroone.json via `make bench-zeroone`): the 0-1
+//     kernel-family sweep — for each side in {32, 64, 128}, single-thread
+//     ns/trial and allocs/trial of the cellwise scalar engine, the
+//     per-trial cell-packed kernel, and the trial-sliced lockstep kernel
+//     (64 trials per machine word), on identical inputs pregenerated from
+//     the batch's canonical per-trial streams (generation is byte-equal
+//     across arms, so the timed region is the kernel alone). The suite
+//     doubles as a differential check: before timing, the three kernels
+//     run through mcbatch.Run and must return bit-identical batches or
+//     the run fails. For peak sliced numbers keep -trials a multiple of
+//     64 (full lane occupancy).
 //
 // Arms are interleaved rep by rep and the per-arm minimum is reported, so
 // a background load spike degrades both arms of a rep rather than biasing
-// one side. Every measurement records the GOMAXPROCS and worker count it
-// ran under (the machine-level gomaxprocs is *not* a global of the
-// report: the kernel suite changes it between measurements).
+// one side. Allocation counts come from a separate post-timing pass, so
+// the runtime.MemStats reads never sit inside a timed region. Every
+// measurement records the GOMAXPROCS and worker count it ran under (the
+// machine-level gomaxprocs is *not* a global of the report: the kernel
+// suite changes it between measurements).
 //
 // Usage:
 //
-//	benchbatch [-suite batch|kernel] [-out FILE] [-reps 5] [-trials 64]
+//	benchbatch [-suite batch|kernel|zeroone] [-out FILE] [-reps 5] [-trials 64]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -30,6 +43,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -51,21 +65,25 @@ import (
 // names cannot drift between the bench artifacts and the daemon.
 type batchedResult struct {
 	report.SpecJSON
-	Reps             int     `json:"reps"`
-	GOMAXPROCS       int     `json:"gomaxprocs"`
-	LegacyNsPerTrial float64 `json:"legacy_ns_per_trial"`
-	BatchNsPerTrial  float64 `json:"mcbatch_ns_per_trial"`
-	Speedup          float64 `json:"speedup"`
+	Reps                 int     `json:"reps"`
+	GOMAXPROCS           int     `json:"gomaxprocs"`
+	LegacyNsPerTrial     float64 `json:"legacy_ns_per_trial"`
+	BatchNsPerTrial      float64 `json:"mcbatch_ns_per_trial"`
+	LegacyAllocsPerTrial float64 `json:"legacy_allocs_per_trial"`
+	BatchAllocsPerTrial  float64 `json:"mcbatch_allocs_per_trial"`
+	Speedup              float64 `json:"speedup"`
 }
 
 type zeroOneResult struct {
-	Side           int     `json:"side"`
-	Inputs         int     `json:"inputs"`
-	Reps           int     `json:"reps"`
-	GOMAXPROCS     int     `json:"gomaxprocs"`
-	ScalarNsPerRun float64 `json:"scalar_ns_per_run"`
-	PackedNsPerRun float64 `json:"packed_ns_per_run"`
-	Speedup        float64 `json:"speedup"`
+	Side               int     `json:"side"`
+	Inputs             int     `json:"inputs"`
+	Reps               int     `json:"reps"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	ScalarNsPerRun     float64 `json:"scalar_ns_per_run"`
+	PackedNsPerRun     float64 `json:"packed_ns_per_run"`
+	ScalarAllocsPerRun float64 `json:"scalar_allocs_per_run"`
+	PackedAllocsPerRun float64 `json:"packed_allocs_per_run"`
+	Speedup            float64 `json:"speedup"`
 }
 
 type batchReport struct {
@@ -81,14 +99,17 @@ type batchReport struct {
 // field is left empty: the record compares all three executor families.
 type singleThreadResult struct {
 	report.SpecJSON
-	Reps              int     `json:"reps"`
-	GOMAXPROCS        int     `json:"gomaxprocs"`
-	LegacyNsPerTrial  float64 `json:"legacy_ns_per_trial"`
-	GenericNsPerTrial float64 `json:"generic_ns_per_trial"`
-	SpanNsPerTrial    float64 `json:"span_ns_per_trial"`
-	SpanVsLegacy      float64 `json:"span_vs_legacy"`
-	SpanVsGeneric     float64 `json:"span_vs_generic"`
-	GenericVsLegacy   float64 `json:"generic_vs_legacy"`
+	Reps                  int     `json:"reps"`
+	GOMAXPROCS            int     `json:"gomaxprocs"`
+	LegacyNsPerTrial      float64 `json:"legacy_ns_per_trial"`
+	GenericNsPerTrial     float64 `json:"generic_ns_per_trial"`
+	SpanNsPerTrial        float64 `json:"span_ns_per_trial"`
+	LegacyAllocsPerTrial  float64 `json:"legacy_allocs_per_trial"`
+	GenericAllocsPerTrial float64 `json:"generic_allocs_per_trial"`
+	SpanAllocsPerTrial    float64 `json:"span_allocs_per_trial"`
+	SpanVsLegacy          float64 `json:"span_vs_legacy"`
+	SpanVsGeneric         float64 `json:"span_vs_generic"`
+	GenericVsLegacy       float64 `json:"generic_vs_legacy"`
 }
 
 // scalingResult is one (side, gomaxprocs) point of the span-kernel
@@ -111,6 +132,49 @@ type kernelReport struct {
 	NumCPU       int                  `json:"num_cpu"`
 	SingleThread []singleThreadResult `json:"single_thread"`
 	Scaling      []scalingResult      `json:"scaling"`
+}
+
+// zeroOneSlicedResult is one gomaxprocs=1 comparison of the three 0-1
+// kernel families on one side. The ns/trial figures time the sort kernels
+// only, on inputs pregenerated once from the batch's canonical per-trial
+// streams: workload generation is stream-pinned and byte-identical across
+// arms, so including it would only dilute the kernel ratios. The sliced
+// arm's timed region does include the AddGrid bit-transpose — that is its
+// per-trial price of admission. The embedded spec's kernel field is left
+// empty: the record compares all three families.
+type zeroOneSlicedResult struct {
+	report.SpecJSON
+	Reps                   int     `json:"reps"`
+	GOMAXPROCS             int     `json:"gomaxprocs"`
+	CellwiseNsPerTrial     float64 `json:"cellwise_ns_per_trial"`
+	PackedNsPerTrial       float64 `json:"packed_ns_per_trial"`
+	SlicedNsPerTrial       float64 `json:"sliced_ns_per_trial"`
+	CellwiseAllocsPerTrial float64 `json:"cellwise_allocs_per_trial"`
+	PackedAllocsPerTrial   float64 `json:"packed_allocs_per_trial"`
+	SlicedAllocsPerTrial   float64 `json:"sliced_allocs_per_trial"`
+	SlicedVsPacked         float64 `json:"sliced_vs_packed"`
+	SlicedVsCellwise       float64 `json:"sliced_vs_cellwise"`
+	PackedVsCellwise       float64 `json:"packed_vs_cellwise"`
+}
+
+type zeroOneSuiteReport struct {
+	GeneratedAt string                `json:"generated_at"`
+	GoVersion   string                `json:"go_version"`
+	NumCPU      int                   `json:"num_cpu"`
+	Results     []zeroOneSlicedResult `json:"results"`
+}
+
+// allocsPerOp runs fn once outside any timed region and returns the heap
+// allocations it performed divided by ops.
+func allocsPerOp(ops int, fn func() error) (float64, error) {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops), nil
 }
 
 // legacySortTrial reproduces the pre-batching per-trial code path exactly
@@ -174,15 +238,35 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 	}
 	legacy := float64(legacyBest.Nanoseconds()) / float64(trials)
 	batch := float64(batchBest.Nanoseconds()) / float64(trials)
+	legacyAllocs, err := allocsPerOp(trials, func() error {
+		for trial := 0; trial < trials; trial++ {
+			if _, err := legacySortTrial(alg, side, rng.NewStream(seed, stream(trial))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return batchedResult{}, err
+	}
+	batchAllocs, err := allocsPerOp(trials, func() error {
+		_, err := mcbatch.Run(spec)
+		return err
+	})
+	if err != nil {
+		return batchedResult{}, err
+	}
 	enc := report.SpecOf(spec)
 	enc.Kernel = "" // the record compares executors, so no single kernel applies
 	return batchedResult{
-		SpecJSON:         enc,
-		Reps:             reps,
-		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		LegacyNsPerTrial: legacy,
-		BatchNsPerTrial:  batch,
-		Speedup:          legacy / batch,
+		SpecJSON:             enc,
+		Reps:                 reps,
+		GOMAXPROCS:           runtime.GOMAXPROCS(0),
+		LegacyNsPerTrial:     legacy,
+		BatchNsPerTrial:      batch,
+		LegacyAllocsPerTrial: legacyAllocs,
+		BatchAllocsPerTrial:  batchAllocs,
+		Speedup:              legacy / batch,
 	}, nil
 }
 
@@ -224,14 +308,38 @@ func measureZeroOne(reps, side int) (zeroOneResult, error) {
 	}
 	scalar := float64(scalarBest.Nanoseconds()) / float64(inputs)
 	packed := float64(packedBest.Nanoseconds()) / float64(inputs)
+	scalarAllocs, err := allocsPerOp(inputs, func() error {
+		for _, in := range grids {
+			if _, err := engine.Run(in.Clone(), s, engine.Options{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return zeroOneResult{}, err
+	}
+	packedAllocs, err := allocsPerOp(inputs, func() error {
+		for _, in := range grids {
+			if _, err := zeroone.SortPacked(in.Clone(), ps, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return zeroOneResult{}, err
+	}
 	return zeroOneResult{
-		Side:           side,
-		Inputs:         inputs,
-		Reps:           reps,
-		GOMAXPROCS:     runtime.GOMAXPROCS(0),
-		ScalarNsPerRun: scalar,
-		PackedNsPerRun: packed,
-		Speedup:        scalar / packed,
+		Side:               side,
+		Inputs:             inputs,
+		Reps:               reps,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		ScalarNsPerRun:     scalar,
+		PackedNsPerRun:     packed,
+		ScalarAllocsPerRun: scalarAllocs,
+		PackedAllocsPerRun: packedAllocs,
+		Speedup:            scalar / packed,
 	}, nil
 }
 
@@ -290,19 +398,177 @@ func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResul
 	legacy := float64(legacyBest.Nanoseconds()) / float64(trials)
 	generic := float64(genericBest.Nanoseconds()) / float64(trials)
 	span := float64(spanBest.Nanoseconds()) / float64(trials)
+	legacyAllocs, err := allocsPerOp(trials, func() error {
+		for trial := 0; trial < trials; trial++ {
+			if _, err := legacySortTrial(alg, side, rng.NewStream(seed, stream(trial))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return singleThreadResult{}, err
+	}
+	var allocs [2]float64
+	for i, k := range []core.Kernel{core.KernelGeneric, core.KernelSpan} {
+		spec.Kernel = k
+		allocs[i], err = allocsPerOp(trials, func() error {
+			_, err := mcbatch.Run(spec)
+			return err
+		})
+		if err != nil {
+			return singleThreadResult{}, err
+		}
+	}
 	spec.Kernel = core.KernelAuto
 	enc := report.SpecOf(spec)
 	enc.Kernel = "" // the record compares executors, so no single kernel applies
 	return singleThreadResult{
-		SpecJSON:          enc,
-		Reps:              reps,
-		GOMAXPROCS:        1,
-		LegacyNsPerTrial:  legacy,
-		GenericNsPerTrial: generic,
-		SpanNsPerTrial:    span,
-		SpanVsLegacy:      legacy / span,
-		SpanVsGeneric:     generic / span,
-		GenericVsLegacy:   legacy / generic,
+		SpecJSON:              enc,
+		Reps:                  reps,
+		GOMAXPROCS:            1,
+		LegacyNsPerTrial:      legacy,
+		GenericNsPerTrial:     generic,
+		SpanNsPerTrial:        span,
+		LegacyAllocsPerTrial:  legacyAllocs,
+		GenericAllocsPerTrial: allocs[0],
+		SpanAllocsPerTrial:    allocs[1],
+		SpanVsLegacy:          legacy / span,
+		SpanVsGeneric:         generic / span,
+		GenericVsLegacy:       legacy / generic,
+	}, nil
+}
+
+// measureZeroOneSliced compares the three 0-1 kernel families at
+// GOMAXPROCS=1 on one side. It first runs the spec through mcbatch.Run
+// once per kernel family (untimed) and fails unless all three return
+// bit-identical batches — the bench run is itself a lockstep-equivalence
+// differential. It then pregenerates the batch's inputs from the
+// canonical per-trial streams and times the kernels alone, interleaved
+// rep by rep, reporting the per-arm minimum.
+func measureZeroOneSliced(reps, trials, side int, seed uint64) (zeroOneSlicedResult, error) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	alg := meshsort.SnakeA
+	spec := mcbatch.Spec{
+		Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+		Workers: 1, ZeroOne: true,
+	}
+	names := [3]string{"cellwise", "packed", "sliced"}
+	var batches [3]*mcbatch.Batch
+	for i, k := range [3]core.Kernel{core.KernelGeneric, core.KernelPacked, core.KernelSliced} {
+		spec.Kernel = k
+		b, err := mcbatch.Run(spec)
+		if err != nil {
+			return zeroOneSlicedResult{}, fmt.Errorf("%s arm: %w", names[i], err)
+		}
+		batches[i] = b
+	}
+	for i := 1; i < len(batches); i++ {
+		if !reflect.DeepEqual(batches[0].Trials, batches[i].Trials) || batches[0].Steps != batches[i].Steps {
+			return zeroOneSlicedResult{}, fmt.Errorf(
+				"side %d: %s batch differs from %s batch — kernel families are not lockstep-equivalent",
+				side, names[i], names[0])
+		}
+	}
+
+	// Pregenerate the inputs every arm sorts: trial t's grid drawn from
+	// the same stream mcbatch pins to it, so the timed work is exactly the
+	// batch's sorting work.
+	name := alg.ShortName()
+	stream := mcbatch.DefaultStream(alg, side)
+	canonical := mcbatch.CanonicalSeed(seed)
+	inputs := make([]*grid.Grid, trials)
+	for t := range inputs {
+		g := grid.New(side, side)
+		workload.HalfZeroOneInto(rng.NewStream(canonical, stream(t)), g)
+		inputs[t] = g
+	}
+	s, err := sched.Cached(name, side, side)
+	if err != nil {
+		return zeroOneSlicedResult{}, err
+	}
+	ps, err := zeroone.CachedPacked(name, side, side)
+	if err != nil {
+		return zeroOneSlicedResult{}, err
+	}
+	ss, err := zeroone.CachedSliced(name, side, side)
+	if err != nil {
+		return zeroOneSlicedResult{}, err
+	}
+	buf := grid.New(side, side)
+	ts := zeroone.NewTrialSlice(side, side)
+	runCellwise := func() error {
+		for _, in := range inputs {
+			copy(buf.Cells(), in.Cells())
+			if _, err := engine.Run(buf, s, engine.Options{}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runPacked := func() error {
+		for _, in := range inputs {
+			copy(buf.Cells(), in.Cells())
+			if _, err := zeroone.SortPacked(buf, ps, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runSliced := func() error {
+		for base := 0; base < trials; base += 64 {
+			ts.Reset()
+			for _, in := range inputs[base:min(base+64, trials)] {
+				ts.AddGrid(in)
+			}
+			if _, _, err := zeroone.SortSliced(ts, ss, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	arms := [3]func() error{runCellwise, runPacked, runSliced}
+	best := [3]time.Duration{1 << 62, 1 << 62, 1 << 62}
+	for rep := 0; rep < reps; rep++ {
+		for i, run := range arms {
+			start := time.Now()
+			if err := run(); err != nil {
+				return zeroOneSlicedResult{}, fmt.Errorf("%s arm: %w", names[i], err)
+			}
+			if d := time.Since(start); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	var allocs [3]float64
+	for i, run := range arms {
+		a, err := allocsPerOp(trials, run)
+		if err != nil {
+			return zeroOneSlicedResult{}, err
+		}
+		allocs[i] = a
+	}
+	cellwise := float64(best[0].Nanoseconds()) / float64(trials)
+	packed := float64(best[1].Nanoseconds()) / float64(trials)
+	sliced := float64(best[2].Nanoseconds()) / float64(trials)
+	spec.Kernel = core.KernelAuto
+	enc := report.SpecOf(spec)
+	enc.Kernel = "" // the record compares executors, so no single kernel applies
+	return zeroOneSlicedResult{
+		SpecJSON:               enc,
+		Reps:                   reps,
+		GOMAXPROCS:             1,
+		CellwiseNsPerTrial:     cellwise,
+		PackedNsPerTrial:       packed,
+		SlicedNsPerTrial:       sliced,
+		CellwiseAllocsPerTrial: allocs[0],
+		PackedAllocsPerTrial:   allocs[1],
+		SlicedAllocsPerTrial:   allocs[2],
+		SlicedVsPacked:         packed / sliced,
+		SlicedVsCellwise:       cellwise / sliced,
+		PackedVsCellwise:       cellwise / packed,
 	}, nil
 }
 
@@ -401,6 +667,26 @@ func runKernelSuite(reps, trials int) (any, string, error) {
 	return rep, summary, nil
 }
 
+func runZeroOneSuite(reps, trials int) (any, string, error) {
+	rep := zeroOneSuiteReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	const seed = 7
+	for _, side := range []int{32, 64, 128} {
+		r, err := measureZeroOneSliced(reps, trials, side, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	summary := fmt.Sprintf("sliced vs packed %.2fx / %.2fx / %.2fx at sides 32/64/128 (vs cellwise %.2fx / %.2fx / %.2fx)",
+		rep.Results[0].SlicedVsPacked, rep.Results[1].SlicedVsPacked, rep.Results[2].SlicedVsPacked,
+		rep.Results[0].SlicedVsCellwise, rep.Results[1].SlicedVsCellwise, rep.Results[2].SlicedVsCellwise)
+	return rep, summary, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchbatch:", err)
 	os.Exit(1)
@@ -408,7 +694,7 @@ func fatal(err error) {
 
 func main() {
 	var (
-		suite      = flag.String("suite", "batch", "benchmark suite: batch or kernel")
+		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel or zeroone")
 		out        = flag.String("out", "", "output file ('-' for stdout; default BENCH_<suite>.json)")
 		reps       = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
 		trials     = flag.Int("trials", 64, "Monte-Carlo trials per rep (kernel suite: count at side 32, scaled by area)")
@@ -426,6 +712,8 @@ func main() {
 			*out = "BENCH_batch.json"
 		case "kernel":
 			*out = "BENCH_kernel.json"
+		case "zeroone":
+			*out = "BENCH_zeroone.json"
 		}
 	}
 
@@ -451,8 +739,10 @@ func main() {
 		rep, summary, err = runBatchSuite(*reps, *trials)
 	case "kernel":
 		rep, summary, err = runKernelSuite(*reps, *trials)
+	case "zeroone":
+		rep, summary, err = runZeroOneSuite(*reps, *trials)
 	default:
-		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch or kernel)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel or zeroone)\n", *suite)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -136,6 +136,8 @@ const (
 	KernelAuto    = engine.KernelAuto
 	KernelGeneric = engine.KernelGeneric
 	KernelSpan    = engine.KernelSpan
+	KernelPacked  = engine.KernelPacked
+	KernelSliced  = engine.KernelSliced
 )
 
 // KernelName returns the wire/CLI identifier of a kernel selector. It is
@@ -149,6 +151,10 @@ func KernelName(k Kernel) string {
 		return "generic"
 	case KernelSpan:
 		return "span"
+	case KernelPacked:
+		return "packed"
+	case KernelSliced:
+		return "sliced"
 	default:
 		return fmt.Sprintf("kernel%d", int(k))
 	}
@@ -164,8 +170,12 @@ func KernelByName(name string) (Kernel, error) {
 		return KernelGeneric, nil
 	case "span":
 		return KernelSpan, nil
+	case "packed":
+		return KernelPacked, nil
+	case "sliced":
+		return KernelSliced, nil
 	default:
-		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic or span)", name)
+		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic, span, packed or sliced)", name)
 	}
 }
 

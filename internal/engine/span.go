@@ -30,6 +30,16 @@ const (
 	// whose schedule does not compile into spans silently fall back to the
 	// generic path, so the option is a hint, never an error.
 	KernelSpan
+	// KernelPacked requests the cell-packed 0-1 kernel (64 cells of one
+	// trial per word). Only mcbatch's ZeroOne batches honor it; the engine
+	// itself treats it like KernelAuto, keeping the hint-never-error
+	// semantics for runs the packed kernel cannot serve.
+	KernelPacked
+	// KernelSliced requests the trial-sliced 0-1 kernel (64 trials of one
+	// cell per word), mcbatch's default for ZeroOne batches. Like
+	// KernelPacked it is a batch-level hint: the engine treats it as
+	// KernelAuto.
+	KernelSliced
 )
 
 // Span exec kinds. Forward/reverse horizontal sweeps differ in which cell

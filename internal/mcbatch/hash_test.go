@@ -38,11 +38,26 @@ func TestHashCanonicalization(t *testing.T) {
 		}
 	})
 	t.Run("kernel-insensitive", func(t *testing.T) {
-		for _, k := range []core.Kernel{core.KernelAuto, core.KernelGeneric, core.KernelSpan} {
+		for _, k := range []core.Kernel{core.KernelAuto, core.KernelGeneric, core.KernelSpan, core.KernelPacked, core.KernelSliced} {
 			s := base
 			s.Kernel = k
 			if got := mustHash(t, s); got != want {
 				t.Fatalf("Kernel=%v changed the hash", k)
+			}
+		}
+	})
+	t.Run("zeroone-kernel-insensitive", func(t *testing.T) {
+		// The 0-1 kernel families must also share one cache entry: a
+		// meshsortd job asking for the sliced kernel and one asking for the
+		// packed kernel are the same content-addressed batch.
+		zo := base
+		zo.ZeroOne = true
+		zoWant := mustHash(t, zo)
+		for _, k := range []core.Kernel{core.KernelGeneric, core.KernelSpan, core.KernelPacked, core.KernelSliced} {
+			s := zo
+			s.Kernel = k
+			if got := mustHash(t, s); got != zoWant {
+				t.Fatalf("ZeroOne Kernel=%s changed the hash", core.KernelName(k))
 			}
 		}
 	})

@@ -11,16 +11,24 @@
 //     derives its own PCG stream from (master seed, trial index), so the
 //     sample — and therefore every derived statistic — is bit-identical
 //     under any worker count, including Workers=1.
-//   - Per-trial statistics stream into a Welford accumulator, folded in
-//     trial-index order so the floating-point aggregate is deterministic.
+//   - Per-trial statistics aggregate into a Welford accumulator per fixed
+//     64-trial slice, merged in slice order (stats.MergeAll), so the
+//     floating-point aggregate is deterministic for every worker count
+//     and kernel family.
+//   - Workers reuse their scratch buffers (input grid, trial slice)
+//     across the trials they claim, so the steady-state trial loop
+//     allocates nothing per trial for the canonical workloads.
 //   - Permutation trials run through the engine's span kernel by default
 //     (engine.KernelAuto): the cached schedule's steps execute as a few
 //     branchless strided sweeps over the backing array instead of one
 //     compare-exchange per comparator struct. Spec.Kernel pins a family
 //     when a benchmark needs to hold one fixed.
-//   - 0-1 workloads can opt into the bit-packed kernel (zeroone.SortPacked),
-//     which applies a whole step's disjoint comparators with bitwise
-//     min/max operations, 64 cells per word.
+//   - 0-1 workloads (Spec.ZeroOne) run through the trial-sliced kernel
+//     (zeroone.SortSliced) by default: 64 trials execute in lockstep, one
+//     bit lane per trial, so each comparator costs a handful of word
+//     operations for the whole block. Spec.Kernel can pin the cell-packed
+//     kernel (zeroone.SortPacked, 64 cells of one trial per word) or the
+//     scalar engine instead; all three are bit-identical.
 package mcbatch
 
 import (
@@ -60,6 +68,18 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // keeps the reported failure deterministic under racing cancellation) and
 // nil results.
 func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return mapWorkers(ctx, workers, n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) })
+}
+
+// mapWorkers is MapCtx plus per-worker scratch state: every goroutine of
+// the pool calls newState once and passes its value to each fn call it
+// executes, so reusable buffers live exactly as long as a worker and are
+// never shared between concurrent calls. Determinism is untouched — which
+// worker (and thus which scratch) serves an index may vary, so fn must
+// treat the scratch as reusable storage only, never as carried state.
+func mapWorkers[S, T any](ctx context.Context, workers, n int, newState func() S, fn func(state S, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, ctx.Err()
@@ -77,12 +97,13 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			state := newState()
 			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
-				out[i], errs[i] = fn(i)
+				out[i], errs[i] = fn(state, i)
 			}
 		}()
 	}
@@ -113,21 +134,26 @@ type Spec struct {
 	// DefaultStream(Algorithm, Rows).
 	Stream func(trial int) uint64
 	// Gen builds the input grid of one trial from its private source.
-	// Nil draws a uniformly random permutation of 1..Rows·Cols.
+	// Nil draws the spec's canonical workload: a uniformly random
+	// permutation of 1..Rows·Cols, or — for ZeroOne batches — the paper's
+	// half-0/half-1 grid (workload.HalfZeroOne). The canonical workloads
+	// fill per-worker reusable buffers instead of allocating per trial.
 	Gen func(src rng.Source, trial int) *grid.Grid
 	// Workers is the size of the trial-level worker pool; 0 uses
 	// GOMAXPROCS. Results are identical for every value.
 	Workers int
 	// MaxSteps caps each trial; 0 uses engine.DefaultMaxSteps.
 	MaxSteps int
-	// ZeroOne routes trials through the bit-packed 0-1 kernel. Gen must
-	// then produce grids holding only 0s and 1s.
+	// ZeroOne routes trials through the 0-1 kernels. Gen must then produce
+	// grids holding only 0s and 1s (nil Gen draws half-0/half-1 grids).
 	ZeroOne bool
-	// Kernel selects the permutation-trial executor family. The zero
-	// value, core.KernelAuto, picks the span kernel automatically whenever
-	// the schedule compiles into spans; benchmarks pin core.KernelGeneric
-	// to measure the comparator path. Ignored for ZeroOne batches (the
-	// bit-packed kernel owns those).
+	// Kernel selects the executor family; it is a hint that cannot change
+	// results. The zero value, core.KernelAuto, picks the span kernel for
+	// permutation batches and the trial-sliced kernel for ZeroOne batches.
+	// ZeroOne batches honor core.KernelPacked (cell-packed kernel, one
+	// trial at a time) and core.KernelGeneric (scalar engine, the cellwise
+	// reference); permutation batches honor core.KernelGeneric and
+	// core.KernelSpan and treat the 0-1 families as Auto.
 	Kernel core.Kernel
 }
 
@@ -152,8 +178,9 @@ type Trial struct {
 type Batch struct {
 	// Trials holds the per-trial results in trial order.
 	Trials []Trial
-	// Steps aggregates the per-trial step counts, folded in trial order
-	// (deterministic under any worker count).
+	// Steps aggregates the per-trial step counts: one Welford accumulator
+	// per fixed 64-trial slice, merged in slice order (deterministic under
+	// any worker count and kernel family).
 	Steps stats.Welford
 }
 
@@ -187,55 +214,167 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 	if stream == nil {
 		stream = DefaultStream(spec.Algorithm, spec.Rows)
 	}
+	seed := CanonicalSeed(spec.Seed)
+	name := spec.Algorithm.ShortName()
+
+	// Resolve the generator. The canonical workloads (nil Gen) fill a
+	// reusable per-worker grid in place; a custom Gen keeps its
+	// allocate-per-trial contract.
 	gen := spec.Gen
+	var genInto func(src rng.Source, g *grid.Grid)
 	if gen == nil {
-		gen = func(src rng.Source, _ int) *grid.Grid {
-			return workload.RandomPermutation(src, spec.Rows, spec.Cols)
+		if spec.ZeroOne {
+			genInto = workload.HalfZeroOneInto
+		} else {
+			genInto = workload.RandomPermutationInto
 		}
 	}
-	seed := CanonicalSeed(spec.Seed)
-
-	name := spec.Algorithm.ShortName()
-	var packed *zeroone.PackedSchedule
-	if spec.ZeroOne {
-		p, err := zeroone.CachedPacked(name, spec.Rows, spec.Cols)
-		if err != nil {
-			return nil, err
+	// makeInput draws trial i's grid into the worker's reusable buffer (or
+	// through the custom Gen) and validates its shape.
+	makeInput := func(src rng.Source, buf *grid.Grid, i int) (*grid.Grid, error) {
+		if genInto != nil {
+			genInto(src, buf)
+			return buf, nil
 		}
-		packed = p
-	} else {
+		g := gen(src, i)
+		if g.Rows() != spec.Rows || g.Cols() != spec.Cols {
+			return nil, fmt.Errorf("mcbatch: Gen produced a %dx%d grid for a %dx%d batch",
+				g.Rows(), g.Cols(), spec.Rows, spec.Cols)
+		}
+		return g, nil
+	}
+
+	var trials []Trial
+	var err error
+	switch {
+	case spec.ZeroOne && spec.Kernel != core.KernelGeneric && spec.Kernel != core.KernelPacked:
+		trials, err = runSliced(ctx, spec, seed, stream, makeInput)
+	case spec.ZeroOne && spec.Kernel == core.KernelPacked:
+		packed, perr := zeroone.CachedPacked(name, spec.Rows, spec.Cols)
+		if perr != nil {
+			return nil, perr
+		}
+		trials, err = runPerTrial(ctx, spec, seed, stream, makeInput,
+			func(g *grid.Grid) (engine.Result, error) {
+				return zeroone.SortPacked(g, packed, spec.MaxSteps)
+			})
+	default:
 		// Warm the shared compiled-schedule cache before the pool starts,
 		// so workers never race to build it.
 		spec.Algorithm.Schedule(spec.Rows, spec.Cols)
+		trials, err = runPerTrial(ctx, spec, seed, stream, makeInput,
+			func(g *grid.Grid) (engine.Result, error) {
+				return core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps, Kernel: spec.Kernel})
+			})
 	}
-
-	runTrial := func(i int) (Trial, error) {
-		src := rng.NewStream(seed, stream(i))
-		g := gen(src, i)
-		if g.Rows() != spec.Rows || g.Cols() != spec.Cols {
-			return Trial{}, fmt.Errorf("mcbatch: Gen produced a %dx%d grid for a %dx%d batch",
-				g.Rows(), g.Cols(), spec.Rows, spec.Cols)
-		}
-		var res engine.Result
-		var err error
-		if packed != nil {
-			res, err = zeroone.SortPacked(g, packed, spec.MaxSteps)
-		} else {
-			res, err = core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps, Kernel: spec.Kernel})
-		}
-		if err != nil {
-			return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
-		}
-		return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
-	}
-
-	trials, err := MapCtx(ctx, spec.Workers, spec.Trials, runTrial)
 	if err != nil {
 		return nil, err
 	}
 	b := &Batch{Trials: trials}
-	for _, t := range trials {
-		b.Steps.AddInt(t.Steps)
-	}
+	b.Steps = aggregateSteps(trials)
 	return b, nil
+}
+
+// runPerTrial executes one trial per grid through sort, with a per-worker
+// reusable input buffer.
+func runPerTrial(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error),
+	sort func(*grid.Grid) (engine.Result, error)) ([]Trial, error) {
+	name := spec.Algorithm.ShortName()
+	return mapWorkers(ctx, spec.Workers, spec.Trials,
+		func() *grid.Grid { return grid.New(spec.Rows, spec.Cols) },
+		func(buf *grid.Grid, i int) (Trial, error) {
+			src := rng.NewStream(seed, stream(i))
+			g, err := makeInput(src, buf, i)
+			if err != nil {
+				return Trial{}, err
+			}
+			res, err := sort(g)
+			if err != nil {
+				return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
+			}
+			return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
+		})
+}
+
+// slicedScratch is one worker's reusable state for the trial-sliced
+// kernel: the 64-lane slice buffer and the grid the generator fills.
+type slicedScratch struct {
+	ts  *zeroone.TrialSlice
+	buf *grid.Grid
+}
+
+// runSliced executes a ZeroOne batch through the trial-sliced kernel:
+// trials are grouped into fixed blocks of 64 (the last one ragged when
+// Trials % 64 != 0) and each block runs in lockstep, one bit lane per
+// trial. Block boundaries depend only on trial indices, so results — and
+// the error reported on failure, which is the one of the smallest failing
+// trial index — are identical to the per-trial paths.
+func runSliced(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) ([]Trial, error) {
+	name := spec.Algorithm.ShortName()
+	ss, err := zeroone.CachedSliced(name, spec.Rows, spec.Cols)
+	if err != nil {
+		return nil, err
+	}
+	blocks := (spec.Trials + 63) / 64
+	blockTrials, err := mapWorkers(ctx, spec.Workers, blocks,
+		func() *slicedScratch {
+			return &slicedScratch{
+				ts:  zeroone.NewTrialSlice(spec.Rows, spec.Cols),
+				buf: grid.New(spec.Rows, spec.Cols),
+			}
+		},
+		func(sc *slicedScratch, b int) ([]Trial, error) {
+			lo := b * 64
+			hi := min(lo+64, spec.Trials)
+			sc.ts.Reset()
+			for i := lo; i < hi; i++ {
+				src := rng.NewStream(seed, stream(i))
+				g, err := makeInput(src, sc.buf, i)
+				if err != nil {
+					return nil, err
+				}
+				sc.ts.AddGrid(g)
+			}
+			results, errs, err := zeroone.SortSliced(sc.ts, ss, spec.MaxSteps)
+			if err != nil {
+				return nil, err
+			}
+			out := make([]Trial, hi-lo)
+			for k := range out {
+				if errs != nil && errs[k] != nil {
+					return nil, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, lo+k, errs[k])
+				}
+				out[k] = Trial{Steps: results[k].Steps, Swaps: results[k].Swaps, Comparisons: results[k].Comparisons}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	trials := make([]Trial, 0, spec.Trials)
+	for _, bt := range blockTrials {
+		trials = append(trials, bt...)
+	}
+	return trials, nil
+}
+
+// aggregateSteps folds the per-trial step counts into one Welford
+// accumulator per fixed 64-trial slice and merges the slices in index
+// order. The partition depends only on trial indices — never on the
+// worker count or kernel family — so the floating-point aggregate is
+// bit-identical for every execution strategy, which is what keeps the
+// daemon's content-addressed result payloads byte-stable.
+func aggregateSteps(trials []Trial) stats.Welford {
+	parts := make([]stats.Welford, 0, (len(trials)+63)/64)
+	for lo := 0; lo < len(trials); lo += 64 {
+		hi := min(lo+64, len(trials))
+		var w stats.Welford
+		for _, t := range trials[lo:hi] {
+			w.AddInt(t.Steps)
+		}
+		parts = append(parts, w)
+	}
+	return stats.MergeAll(parts)
 }

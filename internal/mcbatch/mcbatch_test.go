@@ -144,7 +144,8 @@ func TestMatchesLegacyPerTrialLoop(t *testing.T) {
 }
 
 // TestZeroOnePathMatchesScalarPath runs the same 0-1 batch through the
-// scalar engine and the bit-packed kernel: identical trials either way.
+// scalar engine and the trial-sliced kernel (the ZeroOne default):
+// identical trials either way.
 func TestZeroOnePathMatchesScalarPath(t *testing.T) {
 	spec := Spec{
 		Algorithm: core.RowMajorColFirst, Rows: 10, Cols: 10, Trials: 30, Seed: 9,
@@ -157,15 +158,128 @@ func TestZeroOnePathMatchesScalarPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	spec.ZeroOne = true
-	packed, err := Run(spec)
+	sliced, err := Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(scalar.Trials, packed.Trials) {
-		t.Fatalf("scalar trials %v != packed trials %v", scalar.Trials, packed.Trials)
+	if !reflect.DeepEqual(scalar.Trials, sliced.Trials) {
+		t.Fatalf("scalar trials %v != sliced trials %v", scalar.Trials, sliced.Trials)
 	}
-	if scalar.Steps != packed.Steps {
-		t.Fatalf("aggregates differ: %+v vs %+v", scalar.Steps, packed.Steps)
+	if scalar.Steps != sliced.Steps {
+		t.Fatalf("aggregates differ: %+v vs %+v", scalar.Steps, sliced.Steps)
+	}
+}
+
+// TestZeroOneKernelFamiliesAgree is the 0-1 restatement of
+// TestKernelFamiliesAgree: the same ZeroOne batch through the scalar
+// engine (KernelGeneric), the cell-packed kernel (KernelPacked), the
+// trial-sliced kernel (KernelSliced) and the default (KernelAuto) must
+// produce identical trials and aggregates. Trial counts straddle the
+// 64-lane block size to exercise ragged tails.
+func TestZeroOneKernelFamiliesAgree(t *testing.T) {
+	for _, alg := range []core.Algorithm{core.RowMajorRowFirst, core.SnakeA, core.SnakeC} {
+		for _, trials := range []int{1, 63, 64, 130} {
+			alg, trials := alg, trials
+			t.Run(fmt.Sprintf("%s-%d", alg.ShortName(), trials), func(t *testing.T) {
+				spec := Spec{
+					Algorithm: alg, Rows: 8, Cols: 8, Trials: trials, Seed: 13, ZeroOne: true,
+				}
+				kernels := []core.Kernel{core.KernelGeneric, core.KernelPacked, core.KernelSliced, core.KernelAuto}
+				var ref *Batch
+				for _, k := range kernels {
+					spec.Kernel = k
+					b, err := Run(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if ref == nil {
+						ref = b
+						continue
+					}
+					if !reflect.DeepEqual(ref.Trials, b.Trials) {
+						t.Fatalf("kernel %s trials differ from %s:\n%v\nvs\n%v",
+							core.KernelName(k), core.KernelName(kernels[0]), b.Trials, ref.Trials)
+					}
+					if ref.Steps != b.Steps {
+						t.Fatalf("kernel %s aggregates differ: %+v vs %+v", core.KernelName(k), b.Steps, ref.Steps)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestSlicedKernelDeterminismAcrossWorkerCounts covers the block-level
+// work handout: with multiple 64-trial blocks in flight, per-trial results
+// and aggregates must not depend on which worker ran which block.
+func TestSlicedKernelDeterminismAcrossWorkerCounts(t *testing.T) {
+	spec := Spec{
+		Algorithm: core.SnakeB, Rows: 8, Cols: 8, Trials: 200, Seed: 11, ZeroOne: true,
+	}
+	spec.Workers = 1
+	one, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Workers = 8
+	eight, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one.Trials, eight.Trials) {
+		t.Fatalf("per-trial results differ between Workers=1 and Workers=8")
+	}
+	if one.Steps != eight.Steps {
+		t.Fatalf("aggregate moments differ: %+v vs %+v", one.Steps, eight.Steps)
+	}
+}
+
+// TestZeroOneDefaultGen pins the canonical ZeroOne workload: a nil Gen
+// must draw exactly what an explicit workload.HalfZeroOne generator draws
+// (the wire-level contract the daemon's cache key relies on).
+func TestZeroOneDefaultGen(t *testing.T) {
+	spec := Spec{
+		Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 70, Seed: 21, ZeroOne: true,
+	}
+	implicit, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Gen = func(src rng.Source, _ int) *grid.Grid {
+		return workload.HalfZeroOne(src, 8, 8)
+	}
+	explicit, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(implicit.Trials, explicit.Trials) {
+		t.Fatalf("nil-Gen trials differ from explicit HalfZeroOne trials")
+	}
+}
+
+// TestZeroOneStepLimitError pins the failure contract of the sliced path:
+// the reported error is the scalar path's, for the smallest failing trial
+// index, under any worker count.
+func TestZeroOneStepLimitError(t *testing.T) {
+	spec := Spec{
+		Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 150, Seed: 5, ZeroOne: true,
+		MaxSteps: 2,
+	}
+	spec.Kernel = core.KernelGeneric
+	_, wantErr := Run(spec)
+	if wantErr == nil {
+		t.Fatal("MaxSteps=2 batch unexpectedly sorted")
+	}
+	for _, workers := range []int{1, 8} {
+		spec.Kernel = core.KernelSliced
+		spec.Workers = workers
+		_, err := Run(spec)
+		if err == nil {
+			t.Fatal("sliced path missed the step limit")
+		}
+		if err.Error() != wantErr.Error() {
+			t.Fatalf("workers=%d: sliced error %q != scalar error %q", workers, err, wantErr)
+		}
 	}
 }
 

@@ -175,11 +175,11 @@ func (s *Server) runJob(job *Job) {
 	ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
 	defer cancel()
 
+	// The spec runs exactly as hashed: ZeroOne jobs draw mcbatch's
+	// canonical half-0/half-1 workload (nil Gen), so they stay
+	// content-addressable, and Workers is a result-neutral execution hint.
 	spec := job.spec
 	spec.Workers = s.cfg.TrialWorkers
-	if spec.ZeroOne {
-		spec.Gen = zeroOneGen(spec.Rows, spec.Cols)
-	}
 
 	start := monoNow()
 	b, err := mcbatch.RunCtx(ctx, spec)

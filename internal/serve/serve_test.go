@@ -466,3 +466,35 @@ func TestJobTimeoutCancellation(t *testing.T) {
 		t.Fatalf("canceled counter = %v, want 1", got)
 	}
 }
+
+// TestZeroOneKernelSharesCacheEntry pins the executor-hint contract for
+// the 0-1 kernel families: jobs that differ only in the requested kernel
+// map to one cache key and serve byte-identical payloads, because the
+// sliced, packed, and cellwise engines are lockstep-equivalent and the
+// hash excludes the hint.
+func TestZeroOneKernelSharesCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := func(kernel string) string {
+		return fmt.Sprintf(`{"algorithm":"snake-b","side":8,"trials":70,"seed":9,"zeroone":true,"kernel":%q}`, kernel)
+	}
+
+	respSliced, bufSliced := postJSON(t, ts.URL+"/v1/sort", body("sliced"))
+	if respSliced.StatusCode != http.StatusOK {
+		t.Fatalf("sliced sort: %d %s", respSliced.StatusCode, bufSliced)
+	}
+	if got := respSliced.Header.Get("X-Meshsort-Cache"); got != "miss" {
+		t.Fatalf("first kernel cache header: %q, want miss", got)
+	}
+	for _, kernel := range []string{"packed", "generic", "auto", ""} {
+		resp, buf := postJSON(t, ts.URL+"/v1/sort", body(kernel))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("kernel %q sort: %d %s", kernel, resp.StatusCode, buf)
+		}
+		if got := resp.Header.Get("X-Meshsort-Cache"); got != "hit" {
+			t.Fatalf("kernel %q cache header: %q, want hit", kernel, got)
+		}
+		if !bytes.Equal(buf, bufSliced) {
+			t.Fatalf("kernel %q payload differs from sliced:\n%s\nvs\n%s", kernel, buf, bufSliced)
+		}
+	}
+}

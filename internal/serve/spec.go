@@ -4,18 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/grid"
 	"repro/internal/mcbatch"
-	"repro/internal/rng"
-	"repro/internal/workload"
 )
 
 // JobRequest is the wire form of one trial-batch job, the body of
 // POST /v1/jobs and POST /v1/sort. Either side (square mesh) or rows+cols
 // must be given. The zero seed means the harness default (1), kernel ""
-// means auto, and zeroone routes the batch through the bit-packed 0-1
-// kernel on the paper's half-0/half-1 workload instead of random
-// permutations.
+// means auto, and zeroone runs the batch on the paper's half-0/half-1
+// workload instead of random permutations, through the trial-sliced 0-1
+// kernel (64 trials in lockstep per word) unless kernel pins another
+// family — the choice cannot change results or the cache key.
 type JobRequest struct {
 	Algorithm string `json:"algorithm"`
 	Side      int    `json:"side,omitempty"`
@@ -101,15 +99,4 @@ func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
 		ZeroOne:   r.ZeroOne,
 		Kernel:    kernel,
 	}, nil
-}
-
-// zeroOneGen is the canonical generator of ZeroOne jobs: the paper's
-// half-0/half-1 workload, drawn from the trial's private stream. It is
-// installed by the executor after the Spec has been hashed — the ZeroOne
-// flag in the key fully determines it, which is what keeps zero-one jobs
-// content-addressable despite Gen being a functional field.
-func zeroOneGen(rows, cols int) func(src rng.Source, trial int) *grid.Grid {
-	return func(src rng.Source, _ int) *grid.Grid {
-		return workload.HalfZeroOne(src, rows, cols)
-	}
 }

@@ -64,6 +64,19 @@ func (w *Welford) Merge(o Welford) {
 	w.n = n
 }
 
+// MergeAll combines a sequence of accumulators by folding them left to
+// right with Merge. The fold order is the slice order, so callers that
+// partition observations into fixed slices — e.g. mcbatch's 64-trial
+// blocks — get a bit-identical aggregate no matter how many workers (or
+// which kernel family) produced the parts.
+func MergeAll(parts []Welford) Welford {
+	var out Welford
+	for _, p := range parts {
+		out.Merge(p)
+	}
+	return out
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int64 { return w.n }
 

@@ -70,3 +70,46 @@ func TestWelfordEmptyAndSingle(t *testing.T) {
 		t.Fatalf("single observation: %+v", w)
 	}
 }
+
+// TestMergeAll pins the parallel-combine used by mcbatch: folding fixed
+// partitions in slice order must reproduce the sequential accumulator,
+// regardless of how the observations were cut into parts.
+func TestMergeAll(t *testing.T) {
+	if got := MergeAll(nil); got.N() != 0 {
+		t.Fatalf("MergeAll(nil).N() = %d", got.N())
+	}
+	xs := []float64{4, 4, 2, 9, 0.5, -3, 8, 8, 8, 1, 6, 2.5, 11}
+	var all Welford
+	for _, x := range xs {
+		all.Add(x)
+	}
+	for _, width := range []int{1, 3, 5, len(xs), len(xs) + 4} {
+		var parts []Welford
+		for lo := 0; lo < len(xs); lo += width {
+			var p Welford
+			for _, x := range xs[lo:min(lo+width, len(xs))] {
+				p.Add(x)
+			}
+			parts = append(parts, p)
+		}
+		// An empty trailing part must be a no-op.
+		parts = append(parts, Welford{})
+		got := MergeAll(parts)
+		if got.N() != all.N() {
+			t.Fatalf("width %d: N %d != %d", width, got.N(), all.N())
+		}
+		if math.Abs(got.Mean()-all.Mean()) > 1e-12 {
+			t.Fatalf("width %d: mean %v != %v", width, got.Mean(), all.Mean())
+		}
+		if math.Abs(got.Variance()-all.Variance()) > 1e-9 {
+			t.Fatalf("width %d: variance %v != %v", width, got.Variance(), all.Variance())
+		}
+		if got.Min() != all.Min() || got.Max() != all.Max() {
+			t.Fatalf("width %d: min/max %v/%v != %v/%v", width, got.Min(), got.Max(), all.Min(), all.Max())
+		}
+	}
+	single := MergeAll([]Welford{all})
+	if single != all {
+		t.Fatalf("MergeAll of one part changed it: %+v != %+v", single, all)
+	}
+}

@@ -15,25 +15,45 @@ import (
 // permutation of 1..R·C, the paper's random-input model ("all N!
 // permutations are equally likely").
 func RandomPermutation(src rng.Source, rows, cols int) *grid.Grid {
-	vals := make([]int, rows*cols)
-	rng.Perm(src, vals)
-	return grid.FromValues(rows, cols, vals)
+	g := grid.New(rows, cols)
+	RandomPermutationInto(src, g)
+	return g
+}
+
+// RandomPermutationInto fills g in place with a uniformly random
+// permutation of 1..R·C. It draws exactly the values RandomPermutation
+// draws, so the harness's per-worker buffer reuse cannot perturb any
+// recorded (seed, stream) result.
+func RandomPermutationInto(src rng.Source, g *grid.Grid) {
+	rng.Perm(src, g.Cells())
 }
 
 // RandomZeroOne returns an R×C grid holding a uniformly random 0-1 matrix
 // with exactly alpha zeroes (and R·C − alpha ones): the paper's A^01 model.
 // It panics if alpha is out of range.
 func RandomZeroOne(src rng.Source, rows, cols, alpha int) *grid.Grid {
-	n := rows * cols
+	g := grid.New(rows, cols)
+	RandomZeroOneInto(src, g, alpha)
+	return g
+}
+
+// RandomZeroOneInto fills g in place with a uniformly random 0-1 matrix
+// holding exactly alpha zeroes, drawing exactly the values RandomZeroOne
+// draws. It panics if alpha is out of range.
+func RandomZeroOneInto(src rng.Source, g *grid.Grid, alpha int) {
+	cells := g.Cells()
+	n := len(cells)
 	if alpha < 0 || alpha > n {
 		panic(fmt.Sprintf("workload: alpha=%d out of range for %d cells", alpha, n))
 	}
-	vals := make([]int, n)
-	for i := alpha; i < n; i++ {
-		vals[i] = 1
+	for i := range cells {
+		if i < alpha {
+			cells[i] = 0
+		} else {
+			cells[i] = 1
+		}
 	}
-	rng.Shuffle(src, vals)
-	return grid.FromValues(rows, cols, vals)
+	rng.Shuffle(src, cells)
 }
 
 // HalfZeroOne returns a random 0-1 grid with exactly ⌈N/2⌉ zeroes — the
@@ -41,8 +61,15 @@ func RandomZeroOne(src rng.Source, rows, cols, alpha int) *grid.Grid {
 // (α = N/2 for even N; the appendix uses 2n²+2n+1 = ⌈N/2⌉ zeroes for odd
 // side lengths √N = 2n+1).
 func HalfZeroOne(src rng.Source, rows, cols int) *grid.Grid {
-	n := rows * cols
-	return RandomZeroOne(src, rows, cols, (n+1)/2)
+	g := grid.New(rows, cols)
+	HalfZeroOneInto(src, g)
+	return g
+}
+
+// HalfZeroOneInto is the in-place form of HalfZeroOne, for per-worker
+// buffer reuse. It draws exactly the values HalfZeroOne draws.
+func HalfZeroOneInto(src rng.Source, g *grid.Grid) {
+	RandomZeroOneInto(src, g, (g.Len()+1)/2)
 }
 
 // AllZeroColumn returns the 0-1 mesh of Corollary 1: column col consists

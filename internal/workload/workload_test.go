@@ -184,3 +184,57 @@ func TestZeroOneUniformity(t *testing.T) {
 		t.Fatalf("P[cell (0,0) = 0] = %v, want ~0.5", p)
 	}
 }
+
+// TestIntoVariantsMatchAllocatingForms pins the seeding contract the
+// per-worker buffer reuse in mcbatch relies on: the Into forms draw
+// exactly the same stream values as the allocating forms, so a reused
+// (even dirty) grid ends up cell-identical.
+func TestIntoVariantsMatchAllocatingForms(t *testing.T) {
+	const seed = 606
+	dirty := func() *grid.Grid {
+		g := grid.New(5, 7)
+		for i := 0; i < g.Len(); i++ {
+			g.SetFlat(i, 99)
+		}
+		return g
+	}
+	t.Run("permutation", func(t *testing.T) {
+		want := RandomPermutation(rng.New(seed), 5, 7)
+		got := dirty()
+		RandomPermutationInto(rng.New(seed), got)
+		if !got.Equal(want) {
+			t.Fatal("RandomPermutationInto differs from RandomPermutation")
+		}
+	})
+	t.Run("zeroone", func(t *testing.T) {
+		for _, alpha := range []int{0, 1, 17, 35} {
+			want := RandomZeroOne(rng.New(seed), 5, 7, alpha)
+			got := dirty()
+			RandomZeroOneInto(rng.New(seed), got, alpha)
+			if !got.Equal(want) {
+				t.Fatalf("alpha %d: RandomZeroOneInto differs from RandomZeroOne", alpha)
+			}
+		}
+	})
+	t.Run("half", func(t *testing.T) {
+		want := HalfZeroOne(rng.New(seed), 5, 7)
+		got := dirty()
+		HalfZeroOneInto(rng.New(seed), got)
+		if !got.Equal(want) {
+			t.Fatal("HalfZeroOneInto differs from HalfZeroOne")
+		}
+	})
+	t.Run("consecutive-draws", func(t *testing.T) {
+		// Interleaving Into calls on one source must track the allocating
+		// forms drawing from an identically seeded source.
+		a, b := rng.New(7), rng.New(7)
+		buf := grid.New(4, 4)
+		for i := 0; i < 5; i++ {
+			want := HalfZeroOne(a, 4, 4)
+			HalfZeroOneInto(b, buf)
+			if !buf.Equal(want) {
+				t.Fatalf("draw %d diverged", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,600 @@
+package zeroone
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/sched"
+)
+
+// The trial-sliced kernel transposes the bit-packing of packed.go: instead
+// of 64 cells of one trial per word, a TrialSlice stores 64 *trials* of one
+// cell per word — bit k of words[f] is trial k's value at flat cell f.
+// Because every trial of a fixed (algorithm, rows, cols) runs the same
+// oblivious comparator schedule, one compare-exchange on the pair (lo, hi)
+// serves all 64 trials at once:
+//
+//	lo' = lo & hi   (destination of the smaller value)
+//	hi' = lo | hi   (destination of the larger value)
+//
+// and the swap mask s = lo &^ hi marks exactly the trials whose pair was
+// out of order — the classic bitslicing trick of sorting-network and
+// cipher implementations. Each comparator costs a handful of word
+// operations *total*, not per trial, and needs no shifting or masking at
+// all: the comparator's two cells are just two word indices. SortSliced is
+// verified bit-identical to the scalar engine and to SortPacked — per-trial
+// Steps, Swaps, Comparisons, errors, and final grids — by the differential
+// tests, including ragged batches (fewer than 64 occupied lanes).
+
+// TrialSlice is a batch of up to 64 same-shaped 0-1 grids in trial-sliced
+// layout: one word per cell, one bit lane per trial.
+type TrialSlice struct {
+	rows, cols int
+	lanes      int      // occupied trial lanes, 0..64
+	words      []uint64 // words[f] holds flat cell f of all lanes
+}
+
+// NewTrialSlice returns an empty slice batch for R×C grids.
+func NewTrialSlice(rows, cols int) *TrialSlice {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("zeroone: invalid trial-slice mesh %dx%d", rows, cols))
+	}
+	return &TrialSlice{rows: rows, cols: cols, words: make([]uint64, rows*cols)}
+}
+
+// Rows returns the number of rows.
+func (ts *TrialSlice) Rows() int { return ts.rows }
+
+// Cols returns the number of columns.
+func (ts *TrialSlice) Cols() int { return ts.cols }
+
+// Lanes returns the number of occupied trial lanes.
+func (ts *TrialSlice) Lanes() int { return ts.lanes }
+
+// Reset empties the batch so the buffer can be reused for the next block
+// of trials without reallocating.
+func (ts *TrialSlice) Reset() {
+	ts.lanes = 0
+	clear(ts.words)
+}
+
+// AddGrid transposes g (which must hold only 0s and 1s and match the batch
+// dimensions) into the next free trial lane and returns that lane's index.
+// It panics when all 64 lanes are occupied.
+//
+//meshlint:exempt oblivious transposing a grid into bit lanes reads every cell once by definition; no comparator depends on the values
+func (ts *TrialSlice) AddGrid(g *grid.Grid) int {
+	if g.Rows() != ts.rows || g.Cols() != ts.cols {
+		panic(fmt.Sprintf("zeroone: AddGrid %dx%d grid into %dx%d trial slice",
+			g.Rows(), g.Cols(), ts.rows, ts.cols))
+	}
+	if ts.lanes == 64 {
+		panic("zeroone: AddGrid on a full trial slice (64 lanes)")
+	}
+	lane := ts.lanes
+	w := ts.words
+	// The transpose loop is branchless: a data-dependent `if v == 1` here
+	// mispredicts on ~half the cells of a random 0-1 grid and dominates the
+	// per-trial setup cost. Validation folds into the same pass via acc.
+	acc := 0
+	for i, v := range g.Cells() {
+		acc |= v
+		w[i] |= uint64(v&1) << uint(lane)
+	}
+	if acc&^1 != 0 {
+		// Roll the lane back before panicking so a recovering caller sees
+		// the slice unchanged, then let requireZeroOne report the offender.
+		bit := uint64(1) << uint(lane)
+		for i := range w {
+			w[i] &^= bit
+		}
+		requireZeroOne(g)
+	}
+	ts.lanes++
+	return lane
+}
+
+// Bit returns trial lane's value (0 or 1) at flat cell f.
+func (ts *TrialSlice) Bit(lane, f int) int {
+	return int(ts.words[f] >> uint(lane) & 1)
+}
+
+// ExtractInto writes trial lane's grid into g, which must have the batch
+// dimensions — the inverse transpose of AddGrid.
+func (ts *TrialSlice) ExtractInto(lane int, g *grid.Grid) {
+	if g.Rows() != ts.rows || g.Cols() != ts.cols {
+		panic(fmt.Sprintf("zeroone: ExtractInto %dx%d grid from %dx%d trial slice",
+			g.Rows(), g.Cols(), ts.rows, ts.cols))
+	}
+	if lane < 0 || lane >= ts.lanes {
+		panic(fmt.Sprintf("zeroone: ExtractInto lane %d of %d", lane, ts.lanes))
+	}
+	for i := 0; i < len(ts.words); i++ {
+		g.SetFlat(i, int(ts.words[i]>>uint(lane)&1))
+	}
+}
+
+// Extract returns trial lane's grid.
+func (ts *TrialSlice) Extract(lane int) *grid.Grid {
+	g := grid.New(ts.rows, ts.cols)
+	ts.ExtractInto(lane, g)
+	return g
+}
+
+// slicedRun is a compressed group of comparators within one step: the
+// comparators (lo, lo+delta) for lo = base, base+stride, ..., count of
+// them. Lo and Hi are comparator *roles* (min lands at Lo), so delta is
+// negative for reversed pairs such as the snake family's right-to-left
+// rows. Runs let the executor stream through memory with no per-comparator
+// index loads: a full even row phase of rm-rf is a single run.
+type slicedRun struct {
+	base   int32
+	delta  int32
+	stride int32
+	count  int32
+	// blo..bhi is the inclusive range of change-tracking blocks the run's
+	// cells fall in, precomputed for the executor's skip check.
+	blo, bhi int32
+	// kind selects a specialized executor loop whose slice windows let the
+	// compiler drop bounds checks; runGeneric handles any shape.
+	kind int8
+}
+
+// Run kinds: the shapes the five schedules (and shearsort) actually
+// produce after pairLow ordering, plus a generic fallback for wraparound
+// singles and anything a future schedule invents.
+const (
+	runGeneric int8 = iota
+	runRowFwd       // delta +1, stride 2: left-to-right odd-even row pairs
+	runRowRev       // delta −1, stride 2: right-to-left (snake) row pairs
+	runVert         // stride 1, delta ≥ count: a column phase's row band
+)
+
+// blockShift sets the granularity of the executor's change tracking:
+// blocks of 64 cells, the compromise between skip-check cost (a run spans
+// a couple of blocks) and skip precision (late in a 0-1 sort, activity is
+// a narrow band around each lane's 0/1 boundary).
+const blockShift = 6
+
+// slicedStep is one schedule step for the lockstep executor: the step's
+// comparators as plain flat-index pairs, ordered by their lower cell so
+// the word accesses stream through memory (column steps would otherwise
+// jump by `cols` words between construction-order comparators), plus the
+// same comparators compressed into arithmetic runs for the hot loop.
+type slicedStep struct {
+	pairs       []sched.Comparator
+	runs        []slicedRun
+	comparisons int64 // comparators in the step (matches the scalar count)
+}
+
+// SlicedSchedule is a schedule compiled for the trial-sliced kernel: one
+// full period of comparator steps plus the target order's rank layout,
+// shared read-only across all concurrent blocks.
+type SlicedSchedule struct {
+	name       string
+	order      grid.Order
+	rows, cols int
+	steps      []slicedStep
+	ranks      []int32 // ranks[m] = flat cell of target rank m
+
+	// Comparison-count reconstruction: the cumulative comparator count
+	// after step t is (t/period)*periodComps + compPrefix[t%period], so the
+	// executor never tracks it per step.
+	periodComps int64
+	compPrefix  []int64 // compPrefix[r] = comparators in the first r steps
+
+	// runStart[si] is step si's offset into a flat per-run scratch array of
+	// totalRuns entries (the executor's last-execution stamps).
+	runStart  []int32
+	totalRuns int
+}
+
+// comparisonsAfter returns the cumulative comparator count after step t.
+func (ss *SlicedSchedule) comparisonsAfter(t int) int64 {
+	period := len(ss.steps)
+	return int64(t/period)*ss.periodComps + ss.compPrefix[t%period]
+}
+
+// Name returns the underlying schedule's identifier.
+func (ss *SlicedSchedule) Name() string { return ss.name }
+
+// Order returns the target ordering.
+func (ss *SlicedSchedule) Order() grid.Order { return ss.order }
+
+// Dims returns the mesh dimensions.
+func (ss *SlicedSchedule) Dims() (int, int) { return ss.rows, ss.cols }
+
+// Period returns the number of steps in one full period.
+func (ss *SlicedSchedule) Period() int { return len(ss.steps) }
+
+// pairLow returns the lower flat cell of a comparator.
+func pairLow(c sched.Comparator) int32 {
+	if c.Lo < c.Hi {
+		return c.Lo
+	}
+	return c.Hi
+}
+
+// CompileSliced compiles s for the trial-sliced kernel. Every schedule
+// compiles: the executor consumes comparators directly, so unlike the
+// cell-packed kernel there is no (offset, direction) family structure to
+// exploit — only the memory order of the step's pairs matters.
+func CompileSliced(s sched.Schedule) *SlicedSchedule {
+	rows, cols := s.Dims()
+	n := rows * cols
+	phases := sched.PhasesOf(s)
+	ss := &SlicedSchedule{
+		name: s.Name(), order: s.Order(),
+		rows: rows, cols: cols,
+		steps: make([]slicedStep, len(phases)),
+	}
+	ss.compPrefix = make([]int64, len(phases)+1)
+	ss.runStart = make([]int32, len(phases))
+	for si, comps := range phases {
+		pairs := make([]sched.Comparator, len(comps))
+		copy(pairs, comps) // PhasesOf shares its slices; sort a copy
+		sort.Slice(pairs, func(i, j int) bool {
+			return pairLow(pairs[i]) < pairLow(pairs[j])
+		})
+		ss.steps[si] = slicedStep{
+			pairs: pairs, runs: compressRuns(pairs), comparisons: int64(len(comps)),
+		}
+		ss.compPrefix[si+1] = ss.compPrefix[si] + int64(len(comps))
+		ss.runStart[si] = int32(ss.totalRuns)
+		ss.totalRuns += len(ss.steps[si].runs)
+	}
+	ss.periodComps = ss.compPrefix[len(phases)]
+	g := grid.New(rows, cols)
+	ss.ranks = make([]int32, n)
+	for m := 0; m < n; m++ {
+		ss.ranks[m] = int32(g.RankFlat(s.Order(), m))
+	}
+	return ss
+}
+
+// compressRuns greedily packs pairLow-ordered comparators into arithmetic
+// runs: successive pairs join a run while their delta (Hi−Lo) matches and
+// their Lo advances by the run's stride (fixed by the first two members).
+// Irregular comparators — e.g. a lone wraparound pair — fall out as runs
+// of count 1, so any schedule compresses without a special case.
+func compressRuns(pairs []sched.Comparator) []slicedRun {
+	var runs []slicedRun
+	for i := 0; i < len(pairs); {
+		r := slicedRun{base: pairs[i].Lo, delta: pairs[i].Hi - pairs[i].Lo, count: 1}
+		j := i + 1
+		for ; j < len(pairs); j++ {
+			if pairs[j].Hi-pairs[j].Lo != r.delta {
+				break
+			}
+			stride := pairs[j].Lo - pairs[j-1].Lo
+			if r.count == 1 {
+				r.stride = stride
+			} else if stride != r.stride {
+				break
+			}
+			r.count++
+		}
+		// Sorted pairLow order makes stride positive, so the run's lowest
+		// cell is at the first comparator and the highest at the last.
+		last := r.base + (r.count-1)*r.stride
+		r.blo = (r.base + min(r.delta, 0)) >> blockShift
+		r.bhi = (last + max(r.delta, 0)) >> blockShift
+		switch {
+		case r.delta == 1 && (r.stride == 2 || r.count == 1):
+			r.kind = runRowFwd
+			r.stride = 2
+		case r.delta == -1 && (r.stride == 2 || r.count == 1):
+			r.kind = runRowRev
+			r.stride = 2
+		case r.delta >= r.count && (r.stride == 1 || r.count == 1):
+			r.kind = runVert
+			r.stride = 1
+		}
+		runs = append(runs, r)
+		i = j
+	}
+	return runs
+}
+
+var slicedCache sync.Map // slicedCacheKey{name,rows,cols} -> *SlicedSchedule
+
+type slicedCacheKey struct {
+	name       string
+	rows, cols int
+}
+
+// CachedSliced returns the trial-sliced compilation of algorithm name on
+// an R×C mesh, building it at most once per process.
+func CachedSliced(name string, rows, cols int) (*SlicedSchedule, error) {
+	k := slicedCacheKey{name, rows, cols}
+	if v, ok := slicedCache.Load(k); ok {
+		return v.(*SlicedSchedule), nil
+	}
+	s, err := sched.Cached(name, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := slicedCache.LoadOrStore(k, CompileSliced(s))
+	return v.(*SlicedSchedule), nil
+}
+
+// unsortedAmong returns the subset of cand whose lanes are not yet in
+// target order. A 0-1 grid is sorted iff its values are nondecreasing
+// along the rank order, i.e. no 1 is ever followed by a 0; the scan keeps
+// a per-lane "seen a 1" prefix and records a violation whenever a cell
+// shows a 0 after it. This works for every lane simultaneously whatever
+// each lane's zero count is, and exits as soon as every candidate lane is
+// known unsorted — a handful of cells for far-from-sorted lanes.
+func unsortedAmong(w []uint64, ranks []int32, cand uint64) uint64 {
+	var seen, viol uint64
+	for _, f := range ranks {
+		x := w[f]
+		viol |= seen &^ x
+		seen |= x
+		if viol&cand == cand {
+			return cand
+		}
+	}
+	return viol & cand
+}
+
+// SortSliced runs all occupied lanes of ts in lockstep under schedule ss
+// until every lane reaches target order or maxSteps is hit (0 uses
+// engine.DefaultMaxSteps). The batch is sorted in place; lane k's final
+// grid, Result, and error are bit-identical to running the scalar engine
+// (or SortPacked) on lane k's input alone — a lane that finishes at step t
+// is a fixed point of every later step (a sorted 0-1 grid produces no swap
+// under any comparator of these schedules), so lockstep continuation
+// cannot disturb it.
+//
+// results[k] is lane k's Result; errs is nil when every lane sorted,
+// otherwise errs[k] carries lane k's *engine.ErrStepLimit (nil for lanes
+// that finished). The final error reports a batch-level misuse (dimension
+// mismatch).
+func SortSliced(ts *TrialSlice, ss *SlicedSchedule, maxSteps int) (results []engine.Result, errs []error, err error) {
+	if ts.rows != ss.rows || ts.cols != ss.cols {
+		return nil, nil, fmt.Errorf("zeroone: trial slice is %dx%d but sliced schedule %s was built for %dx%d",
+			ts.rows, ts.cols, ss.name, ss.rows, ss.cols)
+	}
+	if maxSteps == 0 {
+		maxSteps = engine.DefaultMaxSteps(ss.rows, ss.cols)
+	}
+	lanes := ts.lanes
+	results = make([]engine.Result, lanes)
+	if lanes == 0 {
+		return results, nil, nil
+	}
+	w := ts.words
+	laneMask := ^uint64(0) >> uint(64-lanes)
+
+	if unsortedAmong(w, ss.ranks, laneMask) == 0 {
+		for k := range results {
+			results[k].Sorted = true
+		}
+		return results, nil, nil
+	}
+
+	// Per-lane state the hot loop maintains is deliberately tiny. A lane's
+	// sorted status can only change on a step where it swaps, so a lane
+	// that ends sorted became sorted exactly at its last swap step — the
+	// loop records lastSwap per lane and never rescans the grid. Swap
+	// counts live in bit-sliced form: the two low bit-planes (ones, twos)
+	// stay in registers, higher planes spill to the array by ripple carry
+	// on every fourth swap of a lane.
+	var (
+		lastSwap [64]int32
+		ones     uint64
+		twos     uint64
+		planes   [62]uint64
+	)
+
+	// Change tracking for run skipping: blockMax[b] is the latest step that
+	// swapped a cell of block b, lastExec the step each run last executed.
+	// A run none of whose blocks changed since its own last execution would
+	// find every pair already exchanged (compare-exchange is idempotent),
+	// so it is skipped outright — late in a 0-1 sort that is almost every
+	// run, since activity shrinks to a band around the lanes' boundaries.
+	n := ss.rows * ss.cols
+	blockMax := make([]int32, (n-1)>>blockShift+1)
+	lastExec := make([]int32, ss.totalRuns)
+	for i := range lastExec {
+		lastExec[i] = -1
+	}
+
+	period := len(ss.steps)
+	pi := 0
+	quiet := 0
+	for t := 1; t <= maxSteps; t++ {
+		st := &ss.steps[pi]
+		runExec := lastExec[ss.runStart[pi]:]
+		if pi++; pi == period {
+			pi = 0
+		}
+		var dirty uint64
+		tt := int32(t)
+		for ri := range st.runs {
+			r := &st.runs[ri]
+			changed := false
+			for b := r.blo; b <= r.bhi; b++ {
+				if blockMax[b] >= runExec[ri] {
+					changed = true
+					break
+				}
+			}
+			if !changed {
+				continue
+			}
+			runExec[ri] = tt
+			base := int(r.base)
+			switch r.kind {
+			case runRowFwd:
+				v := w[base : base+2*int(r.count)]
+				for j := 0; j+1 < len(v); j += 2 {
+					lo, hi := v[j], v[j+1]
+					s := lo &^ hi
+					if s == 0 {
+						continue
+					}
+					dirty |= s
+					v[j] = lo & hi
+					v[j+1] = lo | hi
+					blockMax[(base+j)>>blockShift] = tt
+					blockMax[(base+j+1)>>blockShift] = tt
+					c := ones & s
+					ones ^= s
+					if c != 0 {
+						c2 := twos & c
+						twos ^= c
+						for i := 0; c2 != 0; i++ {
+							p := planes[i]
+							planes[i] = p ^ c2
+							c2 &= p
+						}
+					}
+				}
+			case runRowRev:
+				// Pair k compares cells (base+2k, base+2k−1): the min role
+				// sits one past the max role, so the window starts at base−1.
+				v := w[base-1 : base-1+2*int(r.count)]
+				for j := 0; j+1 < len(v); j += 2 {
+					lo, hi := v[j+1], v[j]
+					s := lo &^ hi
+					if s == 0 {
+						continue
+					}
+					dirty |= s
+					v[j+1] = lo & hi
+					v[j] = lo | hi
+					blockMax[(base-1+j)>>blockShift] = tt
+					blockMax[(base+j)>>blockShift] = tt
+					c := ones & s
+					ones ^= s
+					if c != 0 {
+						c2 := twos & c
+						twos ^= c
+						for i := 0; c2 != 0; i++ {
+							p := planes[i]
+							planes[i] = p ^ c2
+							c2 &= p
+						}
+					}
+				}
+			case runVert:
+				a := w[base : base+int(r.count)]
+				b := w[base+int(r.delta):][:len(a)]
+				for j := range a {
+					lo, hi := a[j], b[j]
+					s := lo &^ hi
+					if s == 0 {
+						continue
+					}
+					dirty |= s
+					a[j] = lo & hi
+					b[j] = lo | hi
+					blockMax[(base+j)>>blockShift] = tt
+					blockMax[(base+j+int(r.delta))>>blockShift] = tt
+					c := ones & s
+					ones ^= s
+					if c != 0 {
+						c2 := twos & c
+						twos ^= c
+						for i := 0; c2 != 0; i++ {
+							p := planes[i]
+							planes[i] = p ^ c2
+							c2 &= p
+						}
+					}
+				}
+			default:
+				f := base
+				delta, stride := int(r.delta), int(r.stride)
+				for j := int32(0); j < r.count; j++ {
+					lo, hi := w[f], w[f+delta]
+					s := lo &^ hi
+					if s != 0 {
+						dirty |= s
+						w[f] = lo & hi
+						w[f+delta] = lo | hi
+						blockMax[f>>blockShift] = tt
+						blockMax[(f+delta)>>blockShift] = tt
+						c := ones & s
+						ones ^= s
+						if c != 0 {
+							c2 := twos & c
+							twos ^= c
+							for i := 0; c2 != 0; i++ {
+								p := planes[i]
+								planes[i] = p ^ c2
+								c2 &= p
+							}
+						}
+					}
+					f += stride
+				}
+			}
+		}
+		// Quiescence for a full period means every lane sits at a fixed
+		// point of the whole schedule — its final state, sorted or not.
+		if dirty == 0 {
+			if quiet++; quiet == period {
+				break
+			}
+			continue
+		}
+		quiet = 0
+		for d := dirty; d != 0; d &= d - 1 {
+			lastSwap[bits.TrailingZeros64(d)] = int32(t)
+		}
+	}
+
+	still := unsortedAmong(w, ss.ranks, laneMask)
+	limitComps := ss.comparisonsAfter(maxSteps)
+	for k := 0; k < lanes; k++ {
+		sw := int64(twos>>uint(k)&1)<<1 | int64(ones>>uint(k)&1)
+		for i := 60; i >= 0; i-- { // bit 62 at most: counts stay far below 2^62
+			sw |= int64(planes[i]>>uint(k)&1) << uint(i+2)
+		}
+		results[k].Swaps = sw
+		if still>>uint(k)&1 == 1 {
+			// The lane is at (or was cut off in) an unsorted state; the
+			// scalar engine would have churned on to the step limit, so its
+			// comparison count is the limit's.
+			results[k].Comparisons = limitComps
+			if errs == nil {
+				errs = make([]error, lanes)
+			}
+			errs[k] = &engine.ErrStepLimit{
+				Algorithm: ss.name,
+				MaxSteps:  maxSteps,
+				Misplaced: laneMisplaced(w, ss.ranks, n, k),
+			}
+			continue
+		}
+		results[k].Sorted = true
+		if t := int(lastSwap[k]); t != 0 {
+			results[k].Steps = t
+			results[k].Comparisons = ss.comparisonsAfter(t)
+		}
+	}
+	return results, errs, nil
+}
+
+// laneMisplaced counts lane k's 1s inside its zero region — the first
+// alpha target ranks, alpha being the lane's zero count — matching
+// grid.ZeroOneTracker's misplacement measure exactly.
+func laneMisplaced(w []uint64, ranks []int32, n, k int) int {
+	ones := 0
+	for _, x := range w {
+		ones += int(x >> uint(k) & 1)
+	}
+	alpha := n - ones
+	mis := 0
+	for _, f := range ranks[:alpha] {
+		mis += int(w[f] >> uint(k) & 1)
+	}
+	return mis
+}

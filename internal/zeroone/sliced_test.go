@@ -1,0 +1,294 @@
+package zeroone
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestTrialSliceRoundTrip(t *testing.T) {
+	src := rng.New(31)
+	for _, shape := range []struct{ rows, cols int }{
+		{1, 1}, {1, 7}, {9, 1}, {8, 8}, {5, 13},
+	} {
+		ts := NewTrialSlice(shape.rows, shape.cols)
+		var inputs []*grid.Grid
+		for lane := 0; lane < 64; lane++ {
+			alpha := rng.Intn(src, shape.rows*shape.cols+1)
+			g := workload.RandomZeroOne(src, shape.rows, shape.cols, alpha)
+			if got := ts.AddGrid(g); got != lane {
+				t.Fatalf("AddGrid returned lane %d, want %d", got, lane)
+			}
+			inputs = append(inputs, g)
+		}
+		if ts.Lanes() != 64 {
+			t.Fatalf("Lanes = %d, want 64", ts.Lanes())
+		}
+		for lane, want := range inputs {
+			if !ts.Extract(lane).Equal(want) {
+				t.Fatalf("%dx%d lane %d: extract != input", shape.rows, shape.cols, lane)
+			}
+		}
+		// Reset must clear every lane so the buffer is reusable.
+		ts.Reset()
+		if ts.Lanes() != 0 {
+			t.Fatalf("Lanes after Reset = %d", ts.Lanes())
+		}
+		g := workload.RandomZeroOne(src, shape.rows, shape.cols, shape.rows*shape.cols/2)
+		if ts.AddGrid(g); !ts.Extract(0).Equal(g) {
+			t.Fatalf("%dx%d: lane 0 after Reset != input", shape.rows, shape.cols)
+		}
+	}
+}
+
+func TestTrialSliceRejectsNonBinary(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddGrid accepted a non-0-1 grid")
+		}
+	}()
+	NewTrialSlice(1, 2).AddGrid(grid.FromRows([][]int{{0, 2}}))
+}
+
+// TestCompileSlicedShape pins the compiled layout: per-step comparator
+// counts match the schedule, pairs are disjoint within a step, and they
+// are ordered by lower flat cell (the memory-streaming guarantee).
+func TestCompileSlicedShape(t *testing.T) {
+	for _, name := range sched.Names() {
+		s, err := sched.ByName(name, 16, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss := CompileSliced(s)
+		if ss.Period() != len(sched.PhasesOf(s)) {
+			t.Fatalf("%s: period %d != phases %d", name, ss.Period(), len(sched.PhasesOf(s)))
+		}
+		for i, st := range ss.steps {
+			if int64(len(st.pairs)) != st.comparisons {
+				t.Errorf("%s step %d: %d pairs but comparisons=%d", name, i+1, len(st.pairs), st.comparisons)
+			}
+			seen := map[int32]bool{}
+			prev := int32(-1)
+			for _, c := range st.pairs {
+				if seen[c.Lo] || seen[c.Hi] {
+					t.Fatalf("%s step %d: comparators not disjoint", name, i+1)
+				}
+				seen[c.Lo], seen[c.Hi] = true, true
+				if low := pairLow(c); low < prev {
+					t.Fatalf("%s step %d: pairs not ordered by lower cell", name, i+1)
+				} else {
+					prev = low
+				}
+			}
+		}
+	}
+}
+
+func TestCachedSliced(t *testing.T) {
+	a, err := CachedSliced("snake-b", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CachedSliced("snake-b", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("CachedSliced rebuilt the schedule")
+	}
+	if _, err := CachedSliced("no-such-algorithm", 8, 8); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// runDifferential fills a trial slice with the given inputs, sorts it in
+// lockstep, and requires every lane's Result, error, and final grid to be
+// bit-identical to the scalar engine and the cell-packed kernel on the
+// same input.
+func runDifferential(t *testing.T, name string, rows, cols, maxSteps int, inputs []*grid.Grid) {
+	t.Helper()
+	s, err := sched.Cached(name, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := CachedPacked(name, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := CachedSliced(name, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrialSlice(rows, cols)
+	for _, g := range inputs {
+		ts.AddGrid(g.Clone())
+	}
+	results, errs, err := SortSliced(ts, ss, maxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(inputs) {
+		t.Fatalf("%s: %d results for %d lanes", name, len(results), len(inputs))
+	}
+	out := grid.New(rows, cols)
+	for lane, input := range inputs {
+		gs := input.Clone()
+		rs, errS := engine.Run(gs, s, engine.Options{MaxSteps: maxSteps})
+		gp := input.Clone()
+		rp, errP := SortPacked(gp, ps, maxSteps)
+		var errL error
+		if errs != nil {
+			errL = errs[lane]
+		}
+		if (errS == nil) != (errL == nil) || (errP == nil) != (errL == nil) {
+			t.Fatalf("%s lane %d: scalar err %v, packed err %v, sliced err %v", name, lane, errS, errP, errL)
+		}
+		if errS != nil {
+			var wantLim, gotLim *engine.ErrStepLimit
+			if !errors.As(errS, &wantLim) || !errors.As(errL, &gotLim) {
+				t.Fatalf("%s lane %d: non-step-limit errors %v / %v", name, lane, errS, errL)
+			}
+			if *wantLim != *gotLim {
+				t.Fatalf("%s lane %d: scalar limit %+v != sliced limit %+v", name, lane, *wantLim, *gotLim)
+			}
+		}
+		if rs != results[lane] {
+			t.Fatalf("%s lane %d: scalar %+v != sliced %+v", name, lane, rs, results[lane])
+		}
+		if rp != results[lane] {
+			t.Fatalf("%s lane %d: packed %+v != sliced %+v", name, lane, rp, results[lane])
+		}
+		ts.ExtractInto(lane, out)
+		if !gs.Equal(out) {
+			t.Fatalf("%s lane %d: final grids differ", name, lane)
+		}
+	}
+}
+
+// TestSortSlicedMatchesScalarAndPacked is the lockstep-equivalence sweep:
+// every schedule (the five paper algorithms plus shearsort), even sides,
+// random per-lane zero counts, and ragged lane counts (trials % 64 != 0).
+func TestSortSlicedMatchesScalarAndPacked(t *testing.T) {
+	src := rng.New(515)
+	for _, name := range sched.Names() {
+		for _, side := range []int{4, 8, 16} {
+			for _, lanes := range []int{1, 3, 64} {
+				inputs := make([]*grid.Grid, lanes)
+				for i := range inputs {
+					alpha := rng.Intn(src, side*side+1)
+					inputs[i] = workload.RandomZeroOne(src, side, side, alpha)
+				}
+				runDifferential(t, name, side, side, 0, inputs)
+			}
+		}
+	}
+}
+
+// TestSortSlicedOddAndRectangular covers the snake family's odd sides
+// (wrap-around column phases land differently) and non-square meshes.
+func TestSortSlicedOddAndRectangular(t *testing.T) {
+	src := rng.New(929)
+	for _, name := range []string{"snake-a", "snake-b", "snake-c"} {
+		for _, shape := range []struct{ rows, cols int }{{9, 9}, {5, 7}, {3, 9}} {
+			inputs := make([]*grid.Grid, 17)
+			for i := range inputs {
+				alpha := rng.Intn(src, shape.rows*shape.cols+1)
+				inputs[i] = workload.RandomZeroOne(src, shape.rows, shape.cols, alpha)
+			}
+			runDifferential(t, name, shape.rows, shape.cols, 0, inputs)
+		}
+	}
+	for _, name := range []string{"rm-rf", "rm-cf", "rm-rf-nowrap", "shearsort"} {
+		inputs := make([]*grid.Grid, 17)
+		for i := range inputs {
+			alpha := rng.Intn(src, 6*8+1)
+			inputs[i] = workload.RandomZeroOne(src, 6, 8, alpha)
+		}
+		runDifferential(t, name, 6, 8, 0, inputs)
+	}
+}
+
+// TestSortSlicedStepLimit drives lanes into the step cap: with a tiny
+// MaxSteps most lanes fail, a few (near-sorted inputs) finish, and the
+// per-lane errors must carry the exact scalar ErrStepLimit fields.
+func TestSortSlicedStepLimit(t *testing.T) {
+	src := rng.New(77)
+	for _, name := range []string{"rm-rf", "snake-a"} {
+		inputs := make([]*grid.Grid, 40)
+		for i := range inputs {
+			// Mix hard random lanes with already-sorted ones so both the
+			// finished and the capped paths run in the same lockstep batch.
+			if i%5 == 0 {
+				inputs[i] = workload.RandomZeroOne(src, 8, 8, 0)
+			} else {
+				inputs[i] = workload.HalfZeroOne(src, 8, 8)
+			}
+		}
+		runDifferential(t, name, 8, 8, 3, inputs)
+	}
+}
+
+// TestSortSlicedScratchReuse pins buffer pooling: running a second batch
+// through a Reset slice must give the same results as a fresh slice.
+func TestSortSlicedScratchReuse(t *testing.T) {
+	src := rng.New(4242)
+	ss, err := CachedSliced("snake-c", 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := NewTrialSlice(8, 8)
+	for round := 0; round < 3; round++ {
+		inputs := make([]*grid.Grid, 9+round)
+		for i := range inputs {
+			inputs[i] = workload.HalfZeroOne(src, 8, 8)
+		}
+		ts.Reset()
+		fresh := NewTrialSlice(8, 8)
+		for _, g := range inputs {
+			ts.AddGrid(g)
+			fresh.AddGrid(g)
+		}
+		rReuse, _, err := SortSliced(ts, ss, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rFresh, _, err := SortSliced(fresh, ss, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range rFresh {
+			if rReuse[k] != rFresh[k] {
+				t.Fatalf("round %d lane %d: reused %+v != fresh %+v", round, k, rReuse[k], rFresh[k])
+			}
+			if !ts.Extract(k).Equal(fresh.Extract(k)) {
+				t.Fatalf("round %d lane %d: reused grid differs", round, k)
+			}
+		}
+	}
+}
+
+func TestSortSlicedDimensionMismatch(t *testing.T) {
+	ss, err := CachedSliced("snake-a", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SortSliced(NewTrialSlice(4, 6), ss, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSortSlicedEmpty(t *testing.T) {
+	ss, err := CachedSliced("snake-a", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, errs, err := SortSliced(NewTrialSlice(4, 4), ss, 0)
+	if err != nil || errs != nil || len(results) != 0 {
+		t.Fatalf("empty batch: results=%v errs=%v err=%v", results, errs, err)
+	}
+}
