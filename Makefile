@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone experiments experiments-quick lemmas fmt vet cover lint meshlint serve-smoke
+.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold experiments experiments-quick lemmas fmt vet cover lint meshlint serve-smoke
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 
 test-race:
 	$(GO) test -race ./internal/engine/ ./internal/experiments/ ./internal/procmesh/ \
-		./internal/mcbatch/ ./internal/serve/
+		./internal/mcbatch/ ./internal/serve/ ./internal/kerneltest/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -36,6 +36,13 @@ bench-kernel:
 # (writes BENCH_zeroone.json at the repo root).
 bench-zeroone:
 	$(GO) run ./cmd/benchbatch -suite zeroone -out BENCH_zeroone.json $(BENCHFLAGS)
+
+# Exact-permutation executor sweep: span kernel vs threshold-sliced
+# kernel vs the scalar per-threshold decomposition, with a built-in
+# span/threshold differential and a measured tuner calibration table
+# (writes BENCH_threshold.json at the repo root).
+bench-threshold:
+	$(GO) run ./cmd/benchbatch -suite threshold -out BENCH_threshold.json $(BENCHFLAGS)
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,5 +1,5 @@
 // Command benchbatch measures the headline speedups of the Monte-Carlo
-// trial machinery and writes them as machine-readable JSON. It has three
+// trial machinery and writes them as machine-readable JSON. It has four
 // suites:
 //
 //   - batch (default, BENCH_batch.json via `make bench-batch`): the
@@ -23,6 +23,15 @@
 //     run through mcbatch.Run and must return bit-identical batches or
 //     the run fails. For peak sliced numbers keep -trials a multiple of
 //     64 (full lane occupancy).
+//   - threshold (BENCH_threshold.json via `make bench-threshold`): the
+//     exact permutation executors — span kernel, threshold-sliced kernel,
+//     and the scalar per-threshold decomposition — on identical
+//     pregenerated permutation inputs, plus a measured tuner calibration
+//     table over the suite's shapes. The threshold kernel does Θ(N/64)×
+//     the span kernel's work by construction, so the report's honest
+//     ratios show span far ahead on throughput and the threshold kernel
+//     far ahead of the scalar decomposition it replaces for
+//     verification.
 //
 // Arms are interleaved rep by rep and the per-arm minimum is reported, so
 // a background load spike degrades both arms of a rep rather than biasing
@@ -34,7 +43,7 @@
 //
 // Usage:
 //
-//	benchbatch [-suite batch|kernel|zeroone] [-out FILE] [-reps 5] [-trials 64]
+//	benchbatch [-suite batch|kernel|zeroone|threshold] [-out FILE] [-reps 5] [-trials 64]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -52,10 +61,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/grid"
+	"repro/internal/kernels"
 	"repro/internal/mcbatch"
 	"repro/internal/report"
 	"repro/internal/rng"
 	"repro/internal/sched"
+	"repro/internal/sortnet"
 	"repro/internal/workload"
 	"repro/internal/zeroone"
 )
@@ -162,6 +173,44 @@ type zeroOneSuiteReport struct {
 	GoVersion   string                `json:"go_version"`
 	NumCPU      int                   `json:"num_cpu"`
 	Results     []zeroOneSlicedResult `json:"results"`
+}
+
+// thresholdResult is one gomaxprocs=1 comparison of the three exact
+// permutation executors on one side: the span kernel (the throughput
+// path), the threshold-sliced kernel, and the scalar per-threshold
+// decomposition (sortnet.StepsViaThresholds — N−1 separate engine runs).
+// The honest framing: the threshold kernel does Θ(N/64)× the span
+// kernel's work by construction (it sorts every threshold projection,
+// and Σ_k swaps_k ≈ N³/12 while the span path's swaps are ≈ N²·E[steps]
+// per N), so ThresholdVsSpan is expected to be well below 1. Its win is
+// over the scalar decomposition it replaces as the verification
+// executor: ThresholdVsScalarDecomp is the ≥2x claim.
+type thresholdResult struct {
+	report.SpecJSON
+	Reps                int     `json:"reps"`
+	GOMAXPROCS          int     `json:"gomaxprocs"`
+	Chunks              int     `json:"chunks"` // ceil((N-1)/63) threshold chunks per trial
+	SpanNsPerTrial      float64 `json:"span_ns_per_trial"`
+	ThresholdNsPerTrial float64 `json:"threshold_ns_per_trial"`
+	// The scalar decomposition is timed on its own smaller input count
+	// (DecompTrials): it is hundreds of times slower, and timing the full
+	// batch through it would dominate the suite's wall clock.
+	DecompTrials            int     `json:"decomp_trials"`
+	ScalarDecompNsPerTrial  float64 `json:"scalar_decomp_ns_per_trial"`
+	ThresholdVsSpan         float64 `json:"threshold_vs_span"`
+	ThresholdVsScalarDecomp float64 `json:"threshold_vs_scalar_decomp"`
+}
+
+type thresholdSuiteReport struct {
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version"`
+	NumCPU      int               `json:"num_cpu"`
+	Results     []thresholdResult `json:"results"`
+	// Tuner is a measured calibration table over the suite's shapes,
+	// produced with the same probe machinery mcbatch uses when
+	// $MESHSORT_TUNE is on — recorded so the report shows what a measured
+	// auto-tune would pick on this machine.
+	Tuner kernels.Table `json:"tuner"`
 }
 
 // allocsPerOp runs fn once outside any timed region and returns the heap
@@ -343,6 +392,24 @@ func measureZeroOne(reps, side int) (zeroOneResult, error) {
 	}, nil
 }
 
+// pregenInputs draws a batch's canonical per-trial inputs once: trial
+// t's grid is filled from the same (seed, stream) pair mcbatch pins to
+// it, so a timed loop over the returned grids does exactly the batch's
+// sorting work with generation hoisted out of the timed region. Every
+// suite that times kernels on pregenerated inputs goes through this one
+// helper — the fill function is the only thing that varies.
+func pregenInputs(alg meshsort.Algorithm, side, trials int, seed uint64, fill func(rng.Source, *grid.Grid)) []*grid.Grid {
+	stream := mcbatch.DefaultStream(alg, side)
+	canonical := mcbatch.CanonicalSeed(seed)
+	inputs := make([]*grid.Grid, trials)
+	for t := range inputs {
+		g := grid.New(side, side)
+		fill(rng.NewStream(canonical, stream(t)), g)
+		inputs[t] = g
+	}
+	return inputs
+}
+
 // kernelTrials scales the per-rep trial count down with the mesh area so
 // every side costs roughly the same wall-clock: `trials` is the count at
 // side 32.
@@ -473,18 +540,8 @@ func measureZeroOneSliced(reps, trials, side int, seed uint64) (zeroOneSlicedRes
 		}
 	}
 
-	// Pregenerate the inputs every arm sorts: trial t's grid drawn from
-	// the same stream mcbatch pins to it, so the timed work is exactly the
-	// batch's sorting work.
 	name := alg.ShortName()
-	stream := mcbatch.DefaultStream(alg, side)
-	canonical := mcbatch.CanonicalSeed(seed)
-	inputs := make([]*grid.Grid, trials)
-	for t := range inputs {
-		g := grid.New(side, side)
-		workload.HalfZeroOneInto(rng.NewStream(canonical, stream(t)), g)
-		inputs[t] = g
-	}
+	inputs := pregenInputs(alg, side, trials, seed, workload.HalfZeroOneInto)
 	s, err := sched.Cached(name, side, side)
 	if err != nil {
 		return zeroOneSlicedResult{}, err
@@ -569,6 +626,114 @@ func measureZeroOneSliced(reps, trials, side int, seed uint64) (zeroOneSlicedRes
 		SlicedVsPacked:         packed / sliced,
 		SlicedVsCellwise:       cellwise / sliced,
 		PackedVsCellwise:       cellwise / packed,
+	}, nil
+}
+
+// measureThreshold compares the exact permutation executors at
+// GOMAXPROCS=1 on one side. Like the zeroone suite it is a differential
+// first: the span and threshold kernels run the spec through mcbatch.Run
+// untimed and must return bit-identical batches. The timed arms then run
+// on inputs pregenerated from the batch's canonical streams: the span
+// kernel and the threshold kernel over all trials, the scalar
+// per-threshold decomposition over a small fixed slice of them.
+func measureThreshold(reps, trials, side int, seed uint64) (thresholdResult, error) {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	alg := meshsort.SnakeA
+	spec := mcbatch.Spec{
+		Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
+		Workers: 1,
+	}
+	spec.Kernel = core.KernelSpan
+	spanBatch, err := mcbatch.Run(spec)
+	if err != nil {
+		return thresholdResult{}, fmt.Errorf("span arm: %w", err)
+	}
+	spec.Kernel = core.KernelThreshold
+	threshBatch, err := mcbatch.Run(spec)
+	if err != nil {
+		return thresholdResult{}, fmt.Errorf("threshold arm: %w", err)
+	}
+	if !reflect.DeepEqual(spanBatch.Trials, threshBatch.Trials) || spanBatch.Steps != threshBatch.Steps {
+		return thresholdResult{}, fmt.Errorf(
+			"side %d: threshold batch differs from span batch — kernels are not equivalent", side)
+	}
+
+	name := alg.ShortName()
+	inputs := pregenInputs(alg, side, trials, seed, workload.RandomPermutationInto)
+	s, err := sched.Cached(name, side, side)
+	if err != nil {
+		return thresholdResult{}, err
+	}
+	ss, err := zeroone.CachedSliced(name, side, side)
+	if err != nil {
+		return thresholdResult{}, err
+	}
+	decompTrials := trials
+	if decompTrials > 2 {
+		decompTrials = 2
+	}
+	buf := grid.New(side, side)
+	sc := zeroone.NewThresholdScratch(side, side)
+	runSpan := func() error {
+		for _, in := range inputs {
+			copy(buf.Cells(), in.Cells())
+			if _, err := engine.Run(buf, s, engine.Options{Kernel: engine.KernelSpan}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runThreshold := func() error {
+		for _, in := range inputs {
+			copy(buf.Cells(), in.Cells())
+			if _, err := zeroone.SortThresholds(buf, ss, 0, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runDecomp := func() error {
+		for _, in := range inputs[:decompTrials] {
+			if _, err := sortnet.StepsViaThresholds(in, s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	names := [3]string{"span", "threshold", "scalar-decomp"}
+	arms := [3]func() error{runSpan, runThreshold, runDecomp}
+	best := [3]time.Duration{1 << 62, 1 << 62, 1 << 62}
+	for rep := 0; rep < reps; rep++ {
+		for i, run := range arms {
+			start := time.Now()
+			if err := run(); err != nil {
+				return thresholdResult{}, fmt.Errorf("%s arm: %w", names[i], err)
+			}
+			if d := time.Since(start); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	span := float64(best[0].Nanoseconds()) / float64(trials)
+	thresh := float64(best[1].Nanoseconds()) / float64(trials)
+	decomp := float64(best[2].Nanoseconds()) / float64(decompTrials)
+	n := side * side
+	spec.Kernel = core.KernelAuto
+	enc := report.SpecOf(spec)
+	enc.Kernel = "" // the record compares executors, so no single kernel applies
+	return thresholdResult{
+		SpecJSON:                enc,
+		Reps:                    reps,
+		GOMAXPROCS:              1,
+		Chunks:                  (n - 2 + 63) / 63,
+		SpanNsPerTrial:          span,
+		ThresholdNsPerTrial:     thresh,
+		DecompTrials:            decompTrials,
+		ScalarDecompNsPerTrial:  decomp,
+		ThresholdVsSpan:         span / thresh,
+		ThresholdVsScalarDecomp: decomp / thresh,
 	}, nil
 }
 
@@ -687,6 +852,53 @@ func runZeroOneSuite(reps, trials int) (any, string, error) {
 	return rep, summary, nil
 }
 
+func runThresholdSuite(reps, trials int) (any, string, error) {
+	rep := thresholdSuiteReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+	}
+	const seed = 7
+	sides := []int{16, 32, 64}
+	for _, side := range sides {
+		r, err := measureThreshold(reps, kernelTrials(trials, side), side, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+
+	// Calibrate a measured tuner over the same shapes, with a probe that
+	// runs a small pinned batch per kernel — exactly what mcbatch does
+	// under $MESHSORT_TUNE — and record the table in the report.
+	tu := kernels.NewTuner("")
+	for _, side := range sides {
+		side := side
+		key := kernels.Key{Algorithm: "snake-a", Rows: side, Cols: side, Class: kernels.Permutation}
+		probe := func(k core.Kernel) (float64, error) {
+			const probeTrials = 4
+			spec := mcbatch.Spec{
+				Algorithm: meshsort.SnakeA, Rows: side, Cols: side,
+				Trials: probeTrials, Seed: seed, Workers: 1, Kernel: k,
+			}
+			start := time.Now()
+			if _, err := mcbatch.Run(spec); err != nil {
+				return 0, err
+			}
+			return float64(time.Since(start).Nanoseconds()) / probeTrials, nil
+		}
+		if _, err := tu.Calibrate(key, probe); err != nil {
+			return nil, "", err
+		}
+	}
+	rep.Tuner = tu.Table()
+
+	mid := rep.Results[1]
+	summary := fmt.Sprintf("threshold vs scalar decomposition %.2fx, vs span %.3fx at side 32 (%d chunks/trial)",
+		mid.ThresholdVsScalarDecomp, mid.ThresholdVsSpan, mid.Chunks)
+	return rep, summary, nil
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchbatch:", err)
 	os.Exit(1)
@@ -694,7 +906,7 @@ func fatal(err error) {
 
 func main() {
 	var (
-		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel or zeroone")
+		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel, zeroone or threshold")
 		out        = flag.String("out", "", "output file ('-' for stdout; default BENCH_<suite>.json)")
 		reps       = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
 		trials     = flag.Int("trials", 64, "Monte-Carlo trials per rep (kernel suite: count at side 32, scaled by area)")
@@ -714,6 +926,8 @@ func main() {
 			*out = "BENCH_kernel.json"
 		case "zeroone":
 			*out = "BENCH_zeroone.json"
+		case "threshold":
+			*out = "BENCH_threshold.json"
 		}
 	}
 
@@ -741,8 +955,10 @@ func main() {
 		rep, summary, err = runKernelSuite(*reps, *trials)
 	case "zeroone":
 		rep, summary, err = runZeroOneSuite(*reps, *trials)
+	case "threshold":
+		rep, summary, err = runThresholdSuite(*reps, *trials)
 	default:
-		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel or zeroone)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel, zeroone or threshold)\n", *suite)
 		os.Exit(2)
 	}
 	if err != nil {

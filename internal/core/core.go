@@ -133,11 +133,12 @@ type Result = engine.Result
 type Kernel = engine.Kernel
 
 const (
-	KernelAuto    = engine.KernelAuto
-	KernelGeneric = engine.KernelGeneric
-	KernelSpan    = engine.KernelSpan
-	KernelPacked  = engine.KernelPacked
-	KernelSliced  = engine.KernelSliced
+	KernelAuto      = engine.KernelAuto
+	KernelGeneric   = engine.KernelGeneric
+	KernelSpan      = engine.KernelSpan
+	KernelPacked    = engine.KernelPacked
+	KernelSliced    = engine.KernelSliced
+	KernelThreshold = engine.KernelThreshold
 )
 
 // KernelName returns the wire/CLI identifier of a kernel selector. It is
@@ -155,6 +156,8 @@ func KernelName(k Kernel) string {
 		return "packed"
 	case KernelSliced:
 		return "sliced"
+	case KernelThreshold:
+		return "threshold"
 	default:
 		return fmt.Sprintf("kernel%d", int(k))
 	}
@@ -174,8 +177,10 @@ func KernelByName(name string) (Kernel, error) {
 		return KernelPacked, nil
 	case "sliced":
 		return KernelSliced, nil
+	case "threshold":
+		return KernelThreshold, nil
 	default:
-		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic, span, packed or sliced)", name)
+		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic, span, packed, sliced or threshold)", name)
 	}
 }
 

@@ -1,324 +1,24 @@
 package engine_test
 
 import (
-	"errors"
-	"fmt"
 	"testing"
 
-	"repro/internal/engine"
-	"repro/internal/grid"
+	"repro/internal/kerneltest"
 	"repro/internal/rng"
-	"repro/internal/sched"
-	"repro/internal/workload"
-	"repro/internal/zeroone"
 )
 
-// The differential suite runs every executor the repo has over the same
-// inputs and demands bit-identical results: final grid, Steps, Swaps, and
-// Comparisons. The reference executor is an independent reimplementation
-// of the run loop (ApplyStep + full IsSorted rescan), so a shared bug in
-// the engine's tracker-based fast path cannot hide.
-
-// refRun is the independent reference executor: scalar ApplyStep per
-// step, completion by full-grid rescan.
-func refRun(g *grid.Grid, s sched.Schedule, maxSteps int) (engine.Result, error) {
-	var res engine.Result
-	if maxSteps == 0 {
-		r, c := s.Dims()
-		maxSteps = engine.DefaultMaxSteps(r, c)
-	}
-	if g.IsSorted(s.Order()) {
-		res.Sorted = true
-		return res, nil
-	}
-	for t := 1; t <= maxSteps; t++ {
-		comps := s.Step(t)
-		res.Swaps += int64(engine.ApplyStep(g, comps))
-		res.Comparisons += int64(len(comps))
-		if g.IsSorted(s.Order()) {
-			res.Steps = t
-			res.Sorted = true
-			return res, nil
-		}
-	}
-	return res, fmt.Errorf("refRun: %s did not sort within %d steps", s.Name(), maxSteps)
-}
-
-type executor struct {
-	name string
-	run  func(g *grid.Grid, algName string, rows, cols int) (engine.Result, error)
-	// zeroOneOnly executors are skipped on non-binary inputs.
-	zeroOneOnly bool
-}
-
-func executors() []executor {
-	return []executor{
-		{name: "reference", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			s, err := sched.ByName(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return refRun(g, s, 0)
-		}},
-		{name: "sequential", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			s, err := sched.ByName(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return engine.Run(g, s, engine.Options{})
-		}},
-		{name: "worker-pool", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			s, err := sched.ByName(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return engine.Run(g, s, engine.Options{Workers: 4})
-		}},
-		{name: "cached-schedule", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			s, err := sched.Cached(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return engine.Run(g, s, engine.Options{})
-		}},
-		{name: "generic-kernel", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			s, err := sched.Cached(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return engine.Run(g, s, engine.Options{Kernel: engine.KernelGeneric})
-		}},
-		{name: "span-kernel", run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			s, err := sched.Cached(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return engine.Run(g, s, engine.Options{Kernel: engine.KernelSpan})
-		}},
-		{name: "bit-packed", zeroOneOnly: true, run: func(g *grid.Grid, name string, rows, cols int) (engine.Result, error) {
-			ps, err := zeroone.CachedPacked(name, rows, cols)
-			if err != nil {
-				return engine.Result{}, err
-			}
-			return zeroone.SortPacked(g, ps, 0)
-		}},
-	}
-}
-
-// diffCase is one (shape, input) pair; zeroOne marks binary grids so the
-// packed executor joins the comparison.
-type diffCase struct {
-	label   string
-	input   *grid.Grid
-	zeroOne bool
-}
-
-func diffCases(src rng.Source, rows, cols int) []diffCase {
-	n := rows * cols
-	cases := []diffCase{
-		{label: "permutation", input: workload.RandomPermutation(src, rows, cols)},
-		{label: "duplicates", input: workload.FewDistinct(src, rows, cols, 3)},
-		{label: "sorted", input: workload.SortedGrid(rows, cols, grid.RowMajor)},
-		{label: "zeroone-half", input: workload.RandomZeroOne(src, rows, cols, (n+1)/2), zeroOne: true},
-		{label: "zeroone-sparse", input: workload.RandomZeroOne(src, rows, cols, n/4), zeroOne: true},
-		{label: "all-zero", input: grid.New(rows, cols), zeroOne: true},
-	}
-	return cases
-}
-
-func TestDifferentialExecutors(t *testing.T) {
-	shapes := []struct{ rows, cols int }{
-		{4, 4}, {6, 6}, {8, 8}, {5, 6}, {3, 8}, {1, 8},
-	}
-	// The row-major schedules require an even number of columns, so odd
-	// and degenerate column counts only run on the snake/shearsort group.
-	oddColShapes := []struct{ rows, cols int }{
-		{6, 5}, {8, 1}, {1, 7}, {1, 1},
-	}
-	execs := executors()
+// The differential executor suite lives in internal/kerneltest now: one
+// shared harness runs every registered executor — reference, sequential,
+// pooled, generic, span, bit-packed, trial-sliced, threshold-sliced —
+// over the full schedule × shape × workload × step-cap matrix and
+// demands bit-identical Results, errors, and final grids. This file
+// keeps an engine-local smoke slice of that matrix so a quick
+// `go test ./internal/engine` still cross-checks the kernels it owns.
+func TestDifferentialSmoke(t *testing.T) {
 	src := rng.New(1234)
-
-	run := func(t *testing.T, algName string, rows, cols int) {
-		for _, tc := range diffCases(src, rows, cols) {
-			tc := tc
-			t.Run(tc.label, func(t *testing.T) {
-				type outcome struct {
-					res  engine.Result
-					grid *grid.Grid
-				}
-				var base *outcome
-				var baseName string
-				for _, ex := range execs {
-					if ex.zeroOneOnly && !tc.zeroOne {
-						continue
-					}
-					g := tc.input.Clone()
-					res, err := ex.run(g, algName, rows, cols)
-					if err != nil {
-						t.Fatalf("%s: %v", ex.name, err)
-					}
-					if !res.Sorted {
-						t.Fatalf("%s: did not sort", ex.name)
-					}
-					if base == nil {
-						base = &outcome{res: res, grid: g}
-						baseName = ex.name
-						continue
-					}
-					if res != base.res {
-						t.Errorf("%s result %+v != %s result %+v", ex.name, res, baseName, base.res)
-					}
-					if !g.Equal(base.grid) {
-						t.Errorf("%s final grid differs from %s:\n%v\nvs\n%v",
-							ex.name, baseName, g.Values(), base.grid.Values())
-					}
-				}
-			})
+	for _, alg := range []string{"rm-rf", "snake-a", "shearsort"} {
+		for _, maxSteps := range []int{0, 3} {
+			kerneltest.Compare(t, alg, 6, 6, maxSteps, kerneltest.Workloads(src, 6, 6))
 		}
-	}
-
-	for _, algName := range sched.Names() {
-		algName := algName
-		t.Run(algName, func(t *testing.T) {
-			for _, sh := range shapes {
-				t.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(t *testing.T) {
-					run(t, algName, sh.rows, sh.cols)
-				})
-			}
-		})
-	}
-	// Odd-column and degenerate R×1 shapes: only the schedules that
-	// support them (the row-major pair requires even columns).
-	for _, algName := range []string{"snake-a", "snake-b", "snake-c", "shearsort"} {
-		algName := algName
-		t.Run(algName+"/odd-cols", func(t *testing.T) {
-			for _, sh := range oddColShapes {
-				t.Run(fmt.Sprintf("%dx%d", sh.rows, sh.cols), func(t *testing.T) {
-					run(t, algName, sh.rows, sh.cols)
-				})
-			}
-		})
-	}
-}
-
-// TestDifferentialSpanRandomSides hammers span-vs-generic agreement on
-// randomly drawn mesh shapes: for every schedule, random permutation
-// inputs on random sides must produce bit-identical final grids, Steps,
-// Swaps, and Comparisons from both kernels. This is the acceptance check
-// for the span compilation — including the wrap-around row-major
-// schedules, whose wrap wires fuse into whole-array spans.
-func TestDifferentialSpanRandomSides(t *testing.T) {
-	src := rng.New(0xC0FFEE)
-	const trialsPerAlg = 12
-	for _, algName := range sched.Names() {
-		algName := algName
-		t.Run(algName, func(t *testing.T) {
-			for trial := 0; trial < trialsPerAlg; trial++ {
-				rows := 1 + int(src.Uint64()%17)
-				cols := 1 + int(src.Uint64()%17)
-				if algName == "rm-rf" || algName == "rm-cf" || algName == "rm-rf-nowrap" {
-					if cols%2 != 0 {
-						cols++
-					}
-				}
-				s, err := sched.Cached(algName, rows, cols)
-				if err != nil {
-					t.Fatal(err)
-				}
-				input := workload.RandomPermutation(src, rows, cols)
-
-				gGen := input.Clone()
-				resGen, errGen := engine.Run(gGen, s, engine.Options{Kernel: engine.KernelGeneric})
-				gSpan := input.Clone()
-				resSpan, errSpan := engine.Run(gSpan, s, engine.Options{Kernel: engine.KernelSpan})
-
-				if errGen != nil || errSpan != nil {
-					t.Fatalf("%dx%d: generic err=%v span err=%v", rows, cols, errGen, errSpan)
-				}
-				if resGen != resSpan {
-					t.Errorf("%dx%d: generic %+v != span %+v", rows, cols, resGen, resSpan)
-				}
-				if !gGen.Equal(gSpan) {
-					t.Errorf("%dx%d: final grids differ:\n%v\nvs\n%v",
-						rows, cols, gGen.Values(), gSpan.Values())
-				}
-			}
-		})
-	}
-}
-
-// TestDifferentialSpanStepLimit pins down that the span kernel fails the
-// same way the generic kernel does when the step cap is too small: same
-// ErrStepLimit fields, same partial counters, same partial grid.
-func TestDifferentialSpanStepLimit(t *testing.T) {
-	const rows, cols = 8, 8
-	src := rng.New(99)
-	input := workload.RandomPermutation(src, rows, cols)
-	const maxSteps = 3 // far too few to sort
-
-	for _, algName := range sched.Names() {
-		algName := algName
-		t.Run(algName, func(t *testing.T) {
-			s, err := sched.Cached(algName, rows, cols)
-			if err != nil {
-				t.Fatal(err)
-			}
-			gGen := input.Clone()
-			resGen, errGen := engine.Run(gGen, s, engine.Options{Kernel: engine.KernelGeneric, MaxSteps: maxSteps})
-			gSpan := input.Clone()
-			resSpan, errSpan := engine.Run(gSpan, s, engine.Options{Kernel: engine.KernelSpan, MaxSteps: maxSteps})
-
-			var limGen, limSpan *engine.ErrStepLimit
-			if !errors.As(errGen, &limGen) || !errors.As(errSpan, &limSpan) {
-				t.Fatalf("expected ErrStepLimit from both, got generic=%v span=%v", errGen, errSpan)
-			}
-			if *limGen != *limSpan {
-				t.Errorf("step-limit errors differ: generic %+v span %+v", *limGen, *limSpan)
-			}
-			if resGen != resSpan {
-				t.Errorf("partial results differ: generic %+v span %+v", resGen, resSpan)
-			}
-			if !gGen.Equal(gSpan) {
-				t.Errorf("partial grids differ:\n%v\nvs\n%v", gGen.Values(), gSpan.Values())
-			}
-		})
-	}
-}
-
-// TestDifferentialStepLimit pins down that the packed executor fails the
-// same way the scalar engine does: same error type, same misplacement
-// count, same partial counters, same final grid.
-func TestDifferentialStepLimit(t *testing.T) {
-	const rows, cols = 6, 6
-	src := rng.New(77)
-	input := workload.RandomZeroOne(src, rows, cols, rows*cols/2)
-	const maxSteps = 2 // far too few to sort
-
-	s, err := sched.ByName("snake-a", rows, cols)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gScalar := input.Clone()
-	resScalar, errScalar := engine.Run(gScalar, s, engine.Options{MaxSteps: maxSteps})
-
-	ps, err := zeroone.CachedPacked("snake-a", rows, cols)
-	if err != nil {
-		t.Fatal(err)
-	}
-	gPacked := input.Clone()
-	resPacked, errPacked := zeroone.SortPacked(gPacked, ps, maxSteps)
-
-	var limScalar, limPacked *engine.ErrStepLimit
-	if !errors.As(errScalar, &limScalar) || !errors.As(errPacked, &limPacked) {
-		t.Fatalf("expected ErrStepLimit from both, got scalar=%v packed=%v", errScalar, errPacked)
-	}
-	if *limScalar != *limPacked {
-		t.Errorf("step-limit errors differ: scalar %+v packed %+v", *limScalar, *limPacked)
-	}
-	if resScalar != resPacked {
-		t.Errorf("partial results differ: scalar %+v packed %+v", resScalar, resPacked)
-	}
-	if !gScalar.Equal(gPacked) {
-		t.Errorf("partial grids differ:\n%v\nvs\n%v", gScalar.Values(), gPacked.Values())
 	}
 }

@@ -40,6 +40,13 @@ const (
 	// KernelPacked it is a batch-level hint: the engine treats it as
 	// KernelAuto.
 	KernelSliced
+	// KernelThreshold requests the threshold-sliced permutation kernel
+	// (zeroone.SortThresholds): every 0-1 threshold projection of a
+	// permutation trial runs through the trial-sliced machinery, 64
+	// projections per word, and the permutation's Result is reassembled
+	// from the slices. Only mcbatch's permutation batches honor it; the
+	// engine itself treats it like KernelAuto.
+	KernelThreshold
 )
 
 // Span exec kinds. Forward/reverse horizontal sweeps differ in which cell

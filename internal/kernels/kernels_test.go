@@ -1,0 +1,191 @@
+package kernels
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistryShape(t *testing.T) {
+	if len(All()) != 5 {
+		t.Fatalf("registry has %d entries, want 5", len(All()))
+	}
+	for _, e := range All() {
+		if e.Name != core.KernelName(e.ID) {
+			t.Errorf("entry %q: name != core.KernelName(%d) = %q", e.Name, e.ID, core.KernelName(e.ID))
+		}
+		if len(e.Classes) == 0 {
+			t.Errorf("entry %q serves no class", e.Name)
+		}
+	}
+	if k := Fallback(Permutation); k != core.KernelSpan {
+		t.Fatalf("permutation fallback = %v, want span", k)
+	}
+	if k := Fallback(ZeroOne); k != core.KernelSliced {
+		t.Fatalf("zeroone fallback = %v, want sliced", k)
+	}
+	for _, tc := range []struct {
+		k    core.Kernel
+		c    Class
+		want bool
+	}{
+		{core.KernelSpan, Permutation, true},
+		{core.KernelSpan, ZeroOne, false},
+		{core.KernelThreshold, Permutation, true},
+		{core.KernelThreshold, ZeroOne, false},
+		{core.KernelSliced, ZeroOne, true},
+		{core.KernelSliced, Permutation, false},
+		{core.KernelPacked, ZeroOne, true},
+		{core.KernelGeneric, Permutation, true},
+		{core.KernelGeneric, ZeroOne, true},
+		{core.KernelAuto, Permutation, false},
+	} {
+		if got := Supports(tc.k, tc.c); got != tc.want {
+			t.Errorf("Supports(%s, %s) = %v, want %v", core.KernelName(tc.k), tc.c, got, tc.want)
+		}
+	}
+	order := Eligible(Permutation)
+	if len(order) != 3 || order[0].ID != core.KernelSpan || order[2].ID != core.KernelThreshold {
+		t.Fatalf("permutation eligibility order wrong: %+v", order)
+	}
+}
+
+// fakeProbe returns synthetic fixed timings per kernel name, so the
+// calibration outcome — and the persisted table — is deterministic.
+func fakeProbe(ns map[string]float64) Probe {
+	return func(k core.Kernel) (float64, error) {
+		v, ok := ns[core.KernelName(k)]
+		if !ok {
+			return 0, errors.New("no timing")
+		}
+		return v, nil
+	}
+}
+
+// TestTunerGoldenTable pins the calibration table's on-disk format: a
+// calibration run with synthetic timings must write exactly the bytes of
+// testdata/tuner_table.json, and a fresh tuner must load them back and
+// honor the recorded choice without re-probing.
+func TestTunerGoldenTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tuner.json")
+	tu := NewTuner(path)
+	permKey := Key{Algorithm: "snake-a", Rows: 32, Cols: 32, Class: Permutation}
+	zoKey := Key{Algorithm: "snake-a", Rows: 32, Cols: 32, Class: ZeroOne}
+	if k, err := tu.Calibrate(permKey, fakeProbe(map[string]float64{
+		"span": 350000, "generic": 2800000, "threshold": 21000000,
+	})); err != nil || k != core.KernelSpan {
+		t.Fatalf("permutation calibration = %v, %v", k, err)
+	}
+	if k, err := tu.Calibrate(zoKey, fakeProbe(map[string]float64{
+		"sliced": 25000, "packed": 90000, "generic": 400000,
+	})); err != nil || k != core.KernelSliced {
+		t.Fatalf("zeroone calibration = %v, %v", k, err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "tuner_table.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("calibration table format changed:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// A fresh tuner must reload the table and serve the choice from it —
+	// the probe must not run again.
+	reloaded := NewTuner(path)
+	poison := Probe(func(core.Kernel) (float64, error) {
+		t.Fatal("probe called despite a cached calibration")
+		return 0, nil
+	})
+	if k := reloaded.Resolve(core.KernelAuto, permKey, poison); k != core.KernelSpan {
+		t.Fatalf("reloaded resolve = %v, want span", k)
+	}
+}
+
+// TestTableBeatsPriors pins that a calibrated choice overrides the static
+// priors: with synthetic timings making the generic kernel fastest, Auto
+// must resolve to generic, not the span fallback.
+func TestTableBeatsPriors(t *testing.T) {
+	tu := NewTuner("")
+	key := Key{Algorithm: "rm-rf", Rows: 8, Cols: 8, Class: Permutation}
+	if k, err := tu.Calibrate(key, fakeProbe(map[string]float64{
+		"span": 900, "generic": 100, "threshold": 5000,
+	})); err != nil || k != core.KernelGeneric {
+		t.Fatalf("calibration = %v, %v", k, err)
+	}
+	if k := tu.Resolve(core.KernelAuto, key, nil); k != core.KernelGeneric {
+		t.Fatalf("resolve = %v, want calibrated generic", k)
+	}
+	// An explicit hint still wins over the table.
+	if k := tu.Resolve(core.KernelSpan, key, nil); k != core.KernelSpan {
+		t.Fatalf("hinted resolve = %v, want span", k)
+	}
+}
+
+// TestEnvKernelOverride pins the CI determinism knob: MESHSORT_KERNEL
+// forces auto-resolved batches to one kernel, is ignored when it does not
+// serve the class or names nonsense, and never beats an explicit hint.
+func TestEnvKernelOverride(t *testing.T) {
+	tu := NewTuner("")
+	permKey := Key{Algorithm: "snake-b", Rows: 6, Cols: 6, Class: Permutation}
+
+	t.Setenv(EnvKernel, "threshold")
+	if k := tu.Resolve(core.KernelAuto, permKey, nil); k != core.KernelThreshold {
+		t.Fatalf("override resolve = %v, want threshold", k)
+	}
+	if k := tu.Resolve(core.KernelGeneric, permKey, nil); k != core.KernelGeneric {
+		t.Fatalf("hint under override = %v, want generic", k)
+	}
+
+	t.Setenv(EnvKernel, "sliced") // does not serve permutations: ignored
+	if k := tu.Resolve(core.KernelAuto, permKey, nil); k != core.KernelSpan {
+		t.Fatalf("class-mismatched override resolve = %v, want span fallback", k)
+	}
+
+	t.Setenv(EnvKernel, "warp-drive") // unknown: ignored
+	if k := tu.Resolve(core.KernelAuto, permKey, nil); k != core.KernelSpan {
+		t.Fatalf("unknown override resolve = %v, want span fallback", k)
+	}
+}
+
+func TestTuningEnabled(t *testing.T) {
+	for val, want := range map[string]bool{"": false, "0": false, "off": false, "1": true, "on": true} {
+		t.Setenv(EnvTune, val)
+		if got := TuningEnabled(); got != want {
+			t.Errorf("TuningEnabled with %q = %v, want %v", val, got, want)
+		}
+	}
+}
+
+func TestCalibrateAllProbesFail(t *testing.T) {
+	tu := NewTuner("")
+	key := Key{Algorithm: "snake-a", Rows: 4, Cols: 4, Class: ZeroOne}
+	k, err := tu.Calibrate(key, fakeProbe(nil))
+	if err == nil || k != core.KernelSliced {
+		t.Fatalf("all-fail calibration = %v, %v; want sliced fallback with error", k, err)
+	}
+	if len(tu.Table().Entries) != 0 {
+		t.Fatal("failed calibration recorded an entry")
+	}
+}
+
+// TestTunerDiscardsStaleTable pins version gating: a table with another
+// version is ignored, never trusted.
+func TestTunerDiscardsStaleTable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.json")
+	if err := os.WriteFile(path, []byte(`{"version": 99, "entries": {"x": {"kernel": "generic"}}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tu := NewTuner(path)
+	if got := len(tu.Table().Entries); got != 0 {
+		t.Fatalf("stale table loaded %d entries", got)
+	}
+}

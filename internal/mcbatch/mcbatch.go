@@ -18,29 +18,30 @@
 //   - Workers reuse their scratch buffers (input grid, trial slice)
 //     across the trials they claim, so the steady-state trial loop
 //     allocates nothing per trial for the canonical workloads.
-//   - Permutation trials run through the engine's span kernel by default
-//     (engine.KernelAuto): the cached schedule's steps execute as a few
-//     branchless strided sweeps over the backing array instead of one
-//     compare-exchange per comparator struct. Spec.Kernel pins a family
-//     when a benchmark needs to hold one fixed.
-//   - 0-1 workloads (Spec.ZeroOne) run through the trial-sliced kernel
-//     (zeroone.SortSliced) by default: 64 trials execute in lockstep, one
-//     bit lane per trial, so each comparator costs a handful of word
-//     operations for the whole block. Spec.Kernel can pin the cell-packed
-//     kernel (zeroone.SortPacked, 64 cells of one trial per word) or the
-//     scalar engine instead; all three are bit-identical.
+//   - Executor selection goes through the kernel registry and tuner
+//     (internal/kernels): Spec.Kernel pins a family that serves the
+//     batch's workload class; otherwise the $MESHSORT_KERNEL override, a
+//     calibrated choice, or the static priors pick one. The priors keep
+//     the measured defaults — the engine's span kernel for permutation
+//     trials (branchless strided sweeps) and the trial-sliced 0-1 kernel
+//     for ZeroOne batches (64 trials in lockstep, one bit lane each) —
+//     and every registered kernel of a class is bit-identical on it, so
+//     the choice can never change results.
 package mcbatch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/grid"
+	"repro/internal/kernels"
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -148,12 +149,14 @@ type Spec struct {
 	// grids holding only 0s and 1s (nil Gen draws half-0/half-1 grids).
 	ZeroOne bool
 	// Kernel selects the executor family; it is a hint that cannot change
-	// results. The zero value, core.KernelAuto, picks the span kernel for
-	// permutation batches and the trial-sliced kernel for ZeroOne batches.
-	// ZeroOne batches honor core.KernelPacked (cell-packed kernel, one
-	// trial at a time) and core.KernelGeneric (scalar engine, the cellwise
-	// reference); permutation batches honor core.KernelGeneric and
-	// core.KernelSpan and treat the 0-1 families as Auto.
+	// results. The zero value, core.KernelAuto, asks the kernel registry
+	// and tuner (internal/kernels) to choose — the span kernel for
+	// permutation batches and the trial-sliced kernel for ZeroOne batches
+	// unless a calibration or $MESHSORT_KERNEL says otherwise. A hint
+	// naming a kernel of the batch's class (permutation: generic, span,
+	// threshold; ZeroOne: generic, packed, sliced) pins that executor;
+	// a hint from the other class is treated as Auto, so the option is
+	// never an error.
 	Kernel core.Kernel
 }
 
@@ -215,7 +218,6 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 		stream = DefaultStream(spec.Algorithm, spec.Rows)
 	}
 	seed := CanonicalSeed(spec.Seed)
-	name := spec.Algorithm.ShortName()
 
 	// Resolve the generator. The canonical workloads (nil Gen) fill a
 	// reusable per-worker grid in place; a custom Gen keeps its
@@ -244,35 +246,148 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 		return g, nil
 	}
 
-	var trials []Trial
-	var err error
-	switch {
-	case spec.ZeroOne && spec.Kernel != core.KernelGeneric && spec.Kernel != core.KernelPacked:
-		trials, err = runSliced(ctx, spec, seed, stream, makeInput)
-	case spec.ZeroOne && spec.Kernel == core.KernelPacked:
-		packed, perr := zeroone.CachedPacked(name, spec.Rows, spec.Cols)
-		if perr != nil {
-			return nil, perr
-		}
-		trials, err = runPerTrial(ctx, spec, seed, stream, makeInput,
-			func(g *grid.Grid) (engine.Result, error) {
-				return zeroone.SortPacked(g, packed, spec.MaxSteps)
-			})
-	default:
-		// Warm the shared compiled-schedule cache before the pool starts,
-		// so workers never race to build it.
-		spec.Algorithm.Schedule(spec.Rows, spec.Cols)
-		trials, err = runPerTrial(ctx, spec, seed, stream, makeInput,
-			func(g *grid.Grid) (engine.Result, error) {
-				return core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps, Kernel: spec.Kernel})
-			})
+	class := kernels.ClassOf(spec.ZeroOne)
+	kern := resolveKernel(ctx, spec, seed, stream, makeInput)
+	run, ok := runners[class][kern]
+	if !ok {
+		// Unreachable while the runner table covers the registry; kept so
+		// a registry entry added without a runner degrades to the static
+		// default instead of a nil call.
+		run = runners[class][kernels.Fallback(class)]
 	}
+	trials, err := run(ctx, spec, seed, stream, makeInput)
 	if err != nil {
 		return nil, err
 	}
 	b := &Batch{Trials: trials}
 	b.Steps = aggregateSteps(trials)
 	return b, nil
+}
+
+// runner executes a batch with one fixed executor family.
+type runner func(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) ([]Trial, error)
+
+// runners is the dispatch table behind the kernel registry: one executor
+// adapter per (workload class, kernel) pair that internal/kernels
+// declares eligible. All selection policy lives in the registry + tuner;
+// this table only says how each choice runs.
+var runners = map[kernels.Class]map[core.Kernel]runner{
+	kernels.Permutation: {
+		core.KernelSpan:      runEngine(core.KernelSpan),
+		core.KernelGeneric:   runEngine(core.KernelGeneric),
+		core.KernelThreshold: runThreshold,
+	},
+	kernels.ZeroOne: {
+		core.KernelSliced:  runSliced,
+		core.KernelPacked:  runPacked,
+		core.KernelGeneric: runEngine(core.KernelGeneric),
+	},
+}
+
+// probeTrials is the pinned batch size of one calibration probe.
+const probeTrials = 4
+
+// resolveKernel asks the registry + tuner which executor family serves
+// the batch. A measured probe is offered only when the process opted in
+// via $MESHSORT_TUNE and the batch is large enough to amortize timing
+// every eligible kernel once; probes run a fixed trial prefix on one
+// worker, so they are deterministic in everything but time.
+//
+//meshlint:exempt detrand calibration probes time kernels by design; the timing picks which bit-identical executor runs and can never change results
+func resolveKernel(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) core.Kernel {
+	class := kernels.ClassOf(spec.ZeroOne)
+	key := kernels.Key{Algorithm: spec.Algorithm.ShortName(), Rows: spec.Rows, Cols: spec.Cols, Class: class}
+	var probe kernels.Probe
+	if kernels.TuningEnabled() && spec.Trials >= 4*probeTrials {
+		probe = func(k core.Kernel) (float64, error) {
+			ps := spec
+			ps.Trials = probeTrials
+			ps.Workers = 1
+			ps.Kernel = k
+			start := time.Now()
+			if _, err := runners[class][k](ctx, ps, seed, stream, makeInput); err != nil {
+				return 0, err
+			}
+			return float64(time.Since(start).Nanoseconds()) / probeTrials, nil
+		}
+	}
+	return kernels.Shared().Resolve(spec.Kernel, key, probe)
+}
+
+// runEngine adapts the scalar engine (with an engine-level kernel hint:
+// generic or span) as a per-trial runner.
+func runEngine(kern core.Kernel) runner {
+	return func(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+		makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) ([]Trial, error) {
+		// Warm the shared compiled-schedule cache before the pool starts,
+		// so workers never race to build it.
+		spec.Algorithm.Schedule(spec.Rows, spec.Cols)
+		return runPerTrial(ctx, spec, seed, stream, makeInput,
+			func(g *grid.Grid) (engine.Result, error) {
+				return core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps, Kernel: kern})
+			})
+	}
+}
+
+// runPacked adapts the cell-packed 0-1 kernel as a per-trial runner.
+func runPacked(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) ([]Trial, error) {
+	packed, err := zeroone.CachedPacked(spec.Algorithm.ShortName(), spec.Rows, spec.Cols)
+	if err != nil {
+		return nil, err
+	}
+	return runPerTrial(ctx, spec, seed, stream, makeInput,
+		func(g *grid.Grid) (engine.Result, error) {
+			return zeroone.SortPacked(g, packed, spec.MaxSteps)
+		})
+}
+
+// thresholdScratch is one worker's reusable state for the
+// threshold-sliced permutation kernel.
+type thresholdScratch struct {
+	sc  *zeroone.ThresholdScratch
+	buf *grid.Grid
+}
+
+// runThreshold executes a permutation batch through the threshold-sliced
+// kernel: each trial's 0-1 threshold projections run in lockstep, 64 per
+// word, and the trial's Result is reassembled from the slices. A custom
+// Gen may produce non-permutation grids the decomposition cannot serve;
+// those trials fall back to the scalar engine, keeping the kernel hint's
+// never-an-error contract.
+func runThreshold(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) ([]Trial, error) {
+	name := spec.Algorithm.ShortName()
+	ss, err := zeroone.CachedSliced(name, spec.Rows, spec.Cols)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the scalar schedule cache too: the fallback path may need it.
+	spec.Algorithm.Schedule(spec.Rows, spec.Cols)
+	return mapWorkers(ctx, spec.Workers, spec.Trials,
+		func() *thresholdScratch {
+			return &thresholdScratch{
+				sc:  zeroone.NewThresholdScratch(spec.Rows, spec.Cols),
+				buf: grid.New(spec.Rows, spec.Cols),
+			}
+		},
+		func(st *thresholdScratch, i int) (Trial, error) {
+			src := rng.NewStream(seed, stream(i))
+			g, err := makeInput(src, st.buf, i)
+			if err != nil {
+				return Trial{}, err
+			}
+			res, err := zeroone.SortThresholds(g, ss, spec.MaxSteps, st.sc)
+			if errors.Is(err, zeroone.ErrNotPermutation) {
+				res, err = core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps})
+			}
+			if err != nil {
+				return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
+			}
+			return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
+		})
 }
 
 // runPerTrial executes one trial per grid through sort, with a per-worker

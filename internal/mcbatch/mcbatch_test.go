@@ -53,70 +53,6 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
-// TestSpanKernelDeterminismAcrossWorkerCounts is the span-kernel variant
-// of the worker-count guarantee: with the span kernel pinned on, the
-// per-trial results and the folded Welford statistics must be
-// bit-identical for Workers ∈ {1, 4}. This covers the shared span-plan
-// cache (sched.CachedSpans + the engine's plan map) under concurrent
-// first use.
-func TestSpanKernelDeterminismAcrossWorkerCounts(t *testing.T) {
-	for _, alg := range []core.Algorithm{core.SnakeA, core.SnakeB, core.SnakeC, core.RowMajorRowFirst, core.RowMajorColFirst} {
-		alg := alg
-		t.Run(alg.ShortName(), func(t *testing.T) {
-			spec := Spec{
-				Algorithm: alg, Rows: 10, Cols: 10, Trials: 32, Seed: 17,
-				Kernel: core.KernelSpan,
-			}
-			spec.Workers = 1
-			one, err := Run(spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			spec.Workers = 4
-			four, err := Run(spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(one.Trials, four.Trials) {
-				t.Fatalf("per-trial results differ between Workers=1 and Workers=4:\n%v\nvs\n%v",
-					one.Trials, four.Trials)
-			}
-			if one.Steps != four.Steps {
-				t.Fatalf("aggregate moments differ: %+v vs %+v", one.Steps, four.Steps)
-			}
-		})
-	}
-}
-
-// TestKernelFamiliesAgree runs the same permutation batch through the
-// generic comparator path and the span kernel: identical trials and
-// aggregates either way (the batch-level restatement of the engine's
-// differential suite).
-func TestKernelFamiliesAgree(t *testing.T) {
-	for _, alg := range []core.Algorithm{core.SnakeB, core.RowMajorRowFirst, core.Shearsort} {
-		alg := alg
-		t.Run(alg.ShortName(), func(t *testing.T) {
-			spec := Spec{Algorithm: alg, Rows: 9, Cols: 8, Trials: 24, Seed: 23}
-			spec.Kernel = core.KernelGeneric
-			generic, err := Run(spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			spec.Kernel = core.KernelSpan
-			span, err := Run(spec)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(generic.Trials, span.Trials) {
-				t.Fatalf("generic trials %v != span trials %v", generic.Trials, span.Trials)
-			}
-			if generic.Steps != span.Steps {
-				t.Fatalf("aggregates differ: %+v vs %+v", generic.Steps, span.Steps)
-			}
-		})
-	}
-}
-
 // TestMatchesLegacyPerTrialLoop locks the seeding scheme: the batch must
 // reproduce exactly what the historical sequential per-trial loop
 // produced (stream = side<<20 | alg<<16 | trial), because the recorded
@@ -167,70 +103,6 @@ func TestZeroOnePathMatchesScalarPath(t *testing.T) {
 	}
 	if scalar.Steps != sliced.Steps {
 		t.Fatalf("aggregates differ: %+v vs %+v", scalar.Steps, sliced.Steps)
-	}
-}
-
-// TestZeroOneKernelFamiliesAgree is the 0-1 restatement of
-// TestKernelFamiliesAgree: the same ZeroOne batch through the scalar
-// engine (KernelGeneric), the cell-packed kernel (KernelPacked), the
-// trial-sliced kernel (KernelSliced) and the default (KernelAuto) must
-// produce identical trials and aggregates. Trial counts straddle the
-// 64-lane block size to exercise ragged tails.
-func TestZeroOneKernelFamiliesAgree(t *testing.T) {
-	for _, alg := range []core.Algorithm{core.RowMajorRowFirst, core.SnakeA, core.SnakeC} {
-		for _, trials := range []int{1, 63, 64, 130} {
-			alg, trials := alg, trials
-			t.Run(fmt.Sprintf("%s-%d", alg.ShortName(), trials), func(t *testing.T) {
-				spec := Spec{
-					Algorithm: alg, Rows: 8, Cols: 8, Trials: trials, Seed: 13, ZeroOne: true,
-				}
-				kernels := []core.Kernel{core.KernelGeneric, core.KernelPacked, core.KernelSliced, core.KernelAuto}
-				var ref *Batch
-				for _, k := range kernels {
-					spec.Kernel = k
-					b, err := Run(spec)
-					if err != nil {
-						t.Fatal(err)
-					}
-					if ref == nil {
-						ref = b
-						continue
-					}
-					if !reflect.DeepEqual(ref.Trials, b.Trials) {
-						t.Fatalf("kernel %s trials differ from %s:\n%v\nvs\n%v",
-							core.KernelName(k), core.KernelName(kernels[0]), b.Trials, ref.Trials)
-					}
-					if ref.Steps != b.Steps {
-						t.Fatalf("kernel %s aggregates differ: %+v vs %+v", core.KernelName(k), b.Steps, ref.Steps)
-					}
-				}
-			})
-		}
-	}
-}
-
-// TestSlicedKernelDeterminismAcrossWorkerCounts covers the block-level
-// work handout: with multiple 64-trial blocks in flight, per-trial results
-// and aggregates must not depend on which worker ran which block.
-func TestSlicedKernelDeterminismAcrossWorkerCounts(t *testing.T) {
-	spec := Spec{
-		Algorithm: core.SnakeB, Rows: 8, Cols: 8, Trials: 200, Seed: 11, ZeroOne: true,
-	}
-	spec.Workers = 1
-	one, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	spec.Workers = 8
-	eight, err := Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(one.Trials, eight.Trials) {
-		t.Fatalf("per-trial results differ between Workers=1 and Workers=8")
-	}
-	if one.Steps != eight.Steps {
-		t.Fatalf("aggregate moments differ: %+v vs %+v", one.Steps, eight.Steps)
 	}
 }
 

@@ -485,7 +485,9 @@ func TestZeroOneKernelSharesCacheEntry(t *testing.T) {
 	if got := respSliced.Header.Get("X-Meshsort-Cache"); got != "miss" {
 		t.Fatalf("first kernel cache header: %q, want miss", got)
 	}
-	for _, kernel := range []string{"packed", "generic", "auto", ""} {
+	// "threshold" serves the permutation class only, so on a 0-1 job the
+	// hint is treated as auto — same cache entry, same payload.
+	for _, kernel := range []string{"packed", "generic", "auto", "threshold", ""} {
 		resp, buf := postJSON(t, ts.URL+"/v1/sort", body(kernel))
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("kernel %q sort: %d %s", kernel, resp.StatusCode, buf)
@@ -495,6 +497,37 @@ func TestZeroOneKernelSharesCacheEntry(t *testing.T) {
 		}
 		if !bytes.Equal(buf, bufSliced) {
 			t.Fatalf("kernel %q payload differs from sliced:\n%s\nvs\n%s", kernel, buf, bufSliced)
+		}
+	}
+}
+
+// TestPermutationKernelSharesCacheEntry is the permutation-class twin:
+// span, generic, and the threshold-sliced verification kernel are
+// bit-identical on permutation batches, so jobs differing only in the
+// hint share one cache entry and serve byte-identical payloads.
+func TestPermutationKernelSharesCacheEntry(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := func(kernel string) string {
+		return fmt.Sprintf(`{"algorithm":"snake-a","side":8,"trials":40,"seed":9,"kernel":%q}`, kernel)
+	}
+
+	respSpan, bufSpan := postJSON(t, ts.URL+"/v1/sort", body("span"))
+	if respSpan.StatusCode != http.StatusOK {
+		t.Fatalf("span sort: %d %s", respSpan.StatusCode, bufSpan)
+	}
+	if got := respSpan.Header.Get("X-Meshsort-Cache"); got != "miss" {
+		t.Fatalf("first kernel cache header: %q, want miss", got)
+	}
+	for _, kernel := range []string{"generic", "threshold", "auto", "sliced", ""} {
+		resp, buf := postJSON(t, ts.URL+"/v1/sort", body(kernel))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("kernel %q sort: %d %s", kernel, resp.StatusCode, buf)
+		}
+		if got := resp.Header.Get("X-Meshsort-Cache"); got != "hit" {
+			t.Fatalf("kernel %q cache header: %q, want hit", kernel, got)
+		}
+		if !bytes.Equal(buf, bufSpan) {
+			t.Fatalf("kernel %q payload differs from span:\n%s\nvs\n%s", kernel, buf, bufSpan)
 		}
 	}
 }

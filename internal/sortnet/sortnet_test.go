@@ -6,9 +6,11 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/rng"
 	"repro/internal/sched"
 	"repro/internal/workload"
+	"repro/internal/zeroone"
 )
 
 func TestThresholdCommutation(t *testing.T) {
@@ -194,4 +196,106 @@ func TestExhaustiveWitnessIsZeroColumnLike(t *testing.T) {
 	if worst < res.Steps {
 		t.Fatalf("worst %d < all-zero-column steps %d", worst, res.Steps)
 	}
+}
+
+// TestThresholdTrinity is the three-way property behind the threshold
+// kernel: for random permutations, the direct engine measurement, the
+// scalar threshold decomposition (StepsViaThresholds), and the
+// threshold-sliced kernel (zeroone.SortThresholds) must report the same
+// step count — and the kernel's full Result must match the engine's.
+func TestThresholdTrinity(t *testing.T) {
+	src := rng.New(8)
+	for _, name := range sched.Names() {
+		for _, shape := range [][2]int{{4, 4}, {5, 6}, {3, 8}} {
+			rows, cols := shape[0], shape[1]
+			s, err := sched.Cached(name, rows, cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ss, err := zeroone.CachedSliced(name, rows, cols)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 3; trial++ {
+				g := workload.RandomPermutation(src, rows, cols)
+				direct, err := engine.Run(g.Clone(), s, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				via, err := StepsViaThresholds(g, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gk := g.Clone()
+				kern, err := zeroone.SortThresholds(gk, ss, 0, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if direct.Steps != via || direct != kern {
+					t.Fatalf("%s %dx%d: direct %+v, thresholds %d, kernel %+v",
+						name, rows, cols, direct, via, kern)
+				}
+			}
+		}
+	}
+}
+
+// FuzzThresholdDecomposition fuzzes the decomposition theorem end to
+// end: an arbitrary byte-derived permutation must yield the same step
+// count from the direct engine, the scalar per-threshold sweep, and the
+// threshold-sliced kernel. Seeds use the same (algIdx, rows, cols, data)
+// signature as the engine's FuzzSortsAnyInput corpus.
+//
+// Run with: go test -fuzz=FuzzThresholdDecomposition ./internal/sortnet/
+func FuzzThresholdDecomposition(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(uint8(2), uint8(3), uint8(5), []byte{0, 0, 1, 1, 0, 1, 0, 1, 1, 0, 0, 0, 1, 1, 1})
+	f.Add(uint8(5), uint8(1), uint8(9), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1})
+	f.Add(uint8(1), uint8(6), uint8(6), []byte{255, 0, 128, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, algIdx, rows, cols uint8, data []byte) {
+		names := sched.Names()
+		name := names[int(algIdx)%len(names)]
+		r := 1 + int(rows)%8
+		c := 1 + int(cols)%8
+		if (name == "rm-rf" || name == "rm-cf") && c%2 != 0 {
+			c++ // the row-major schedules require even columns by design
+		}
+		n := r * c
+		// Derive a permutation from the fuzz bytes: identity shuffled by
+		// data-directed transpositions, so any byte string is a valid input.
+		g := grid.New(r, c)
+		cells := g.Cells()
+		for i := range cells {
+			cells[i] = i + 1
+		}
+		for i, b := range data {
+			j, k := i%n, int(b)%n
+			cells[j], cells[k] = cells[k], cells[j]
+		}
+
+		s, err := sched.Cached(name, r, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ss, err := zeroone.CachedSliced(name, r, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := engine.Run(g.Clone(), s, engine.Options{})
+		if err != nil {
+			t.Fatalf("%s %dx%d: %v", name, r, c, err)
+		}
+		via, err := StepsViaThresholds(g, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gk := g.Clone()
+		kern, err := zeroone.SortThresholds(gk, ss, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Steps != via || direct != kern {
+			t.Fatalf("%s %dx%d: direct %+v, thresholds %d, kernel %+v", name, r, c, direct, via, kern)
+		}
+	})
 }

@@ -1,10 +1,8 @@
 package zeroone
 
 import (
-	"errors"
 	"testing"
 
-	"repro/internal/engine"
 	"repro/internal/grid"
 	"repro/internal/rng"
 	"repro/internal/sched"
@@ -106,132 +104,12 @@ func TestCachedSliced(t *testing.T) {
 	}
 }
 
-// runDifferential fills a trial slice with the given inputs, sorts it in
-// lockstep, and requires every lane's Result, error, and final grid to be
-// bit-identical to the scalar engine and the cell-packed kernel on the
-// same input.
-func runDifferential(t *testing.T, name string, rows, cols, maxSteps int, inputs []*grid.Grid) {
-	t.Helper()
-	s, err := sched.Cached(name, rows, cols)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ps, err := CachedPacked(name, rows, cols)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ss, err := CachedSliced(name, rows, cols)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ts := NewTrialSlice(rows, cols)
-	for _, g := range inputs {
-		ts.AddGrid(g.Clone())
-	}
-	results, errs, err := SortSliced(ts, ss, maxSteps)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(results) != len(inputs) {
-		t.Fatalf("%s: %d results for %d lanes", name, len(results), len(inputs))
-	}
-	out := grid.New(rows, cols)
-	for lane, input := range inputs {
-		gs := input.Clone()
-		rs, errS := engine.Run(gs, s, engine.Options{MaxSteps: maxSteps})
-		gp := input.Clone()
-		rp, errP := SortPacked(gp, ps, maxSteps)
-		var errL error
-		if errs != nil {
-			errL = errs[lane]
-		}
-		if (errS == nil) != (errL == nil) || (errP == nil) != (errL == nil) {
-			t.Fatalf("%s lane %d: scalar err %v, packed err %v, sliced err %v", name, lane, errS, errP, errL)
-		}
-		if errS != nil {
-			var wantLim, gotLim *engine.ErrStepLimit
-			if !errors.As(errS, &wantLim) || !errors.As(errL, &gotLim) {
-				t.Fatalf("%s lane %d: non-step-limit errors %v / %v", name, lane, errS, errL)
-			}
-			if *wantLim != *gotLim {
-				t.Fatalf("%s lane %d: scalar limit %+v != sliced limit %+v", name, lane, *wantLim, *gotLim)
-			}
-		}
-		if rs != results[lane] {
-			t.Fatalf("%s lane %d: scalar %+v != sliced %+v", name, lane, rs, results[lane])
-		}
-		if rp != results[lane] {
-			t.Fatalf("%s lane %d: packed %+v != sliced %+v", name, lane, rp, results[lane])
-		}
-		ts.ExtractInto(lane, out)
-		if !gs.Equal(out) {
-			t.Fatalf("%s lane %d: final grids differ", name, lane)
-		}
-	}
-}
-
-// TestSortSlicedMatchesScalarAndPacked is the lockstep-equivalence sweep:
-// every schedule (the five paper algorithms plus shearsort), even sides,
-// random per-lane zero counts, and ragged lane counts (trials % 64 != 0).
-func TestSortSlicedMatchesScalarAndPacked(t *testing.T) {
-	src := rng.New(515)
-	for _, name := range sched.Names() {
-		for _, side := range []int{4, 8, 16} {
-			for _, lanes := range []int{1, 3, 64} {
-				inputs := make([]*grid.Grid, lanes)
-				for i := range inputs {
-					alpha := rng.Intn(src, side*side+1)
-					inputs[i] = workload.RandomZeroOne(src, side, side, alpha)
-				}
-				runDifferential(t, name, side, side, 0, inputs)
-			}
-		}
-	}
-}
-
-// TestSortSlicedOddAndRectangular covers the snake family's odd sides
-// (wrap-around column phases land differently) and non-square meshes.
-func TestSortSlicedOddAndRectangular(t *testing.T) {
-	src := rng.New(929)
-	for _, name := range []string{"snake-a", "snake-b", "snake-c"} {
-		for _, shape := range []struct{ rows, cols int }{{9, 9}, {5, 7}, {3, 9}} {
-			inputs := make([]*grid.Grid, 17)
-			for i := range inputs {
-				alpha := rng.Intn(src, shape.rows*shape.cols+1)
-				inputs[i] = workload.RandomZeroOne(src, shape.rows, shape.cols, alpha)
-			}
-			runDifferential(t, name, shape.rows, shape.cols, 0, inputs)
-		}
-	}
-	for _, name := range []string{"rm-rf", "rm-cf", "rm-rf-nowrap", "shearsort"} {
-		inputs := make([]*grid.Grid, 17)
-		for i := range inputs {
-			alpha := rng.Intn(src, 6*8+1)
-			inputs[i] = workload.RandomZeroOne(src, 6, 8, alpha)
-		}
-		runDifferential(t, name, 6, 8, 0, inputs)
-	}
-}
-
-// TestSortSlicedStepLimit drives lanes into the step cap: with a tiny
-// MaxSteps most lanes fail, a few (near-sorted inputs) finish, and the
-// per-lane errors must carry the exact scalar ErrStepLimit fields.
-func TestSortSlicedStepLimit(t *testing.T) {
-	src := rng.New(77)
-	for _, name := range []string{"rm-rf", "snake-a"} {
-		inputs := make([]*grid.Grid, 40)
-		for i := range inputs {
-			// Mix hard random lanes with already-sorted ones so both the
-			// finished and the capped paths run in the same lockstep batch.
-			if i%5 == 0 {
-				inputs[i] = workload.RandomZeroOne(src, 8, 8, 0)
-			} else {
-				inputs[i] = workload.HalfZeroOne(src, 8, 8)
-			}
-		}
-		runDifferential(t, name, 8, 8, 3, inputs)
-	}
-}
+// The lockstep differential suite (sliced vs scalar vs packed, step-cap
+// and ragged-lane coverage) lives in internal/kerneltest now: its
+// Compare harness packs every 0-1 case of the shared matrix into trial
+// slices and checks each lane against the independent reference. The
+// tests below keep the package-private coverage: packing round-trips,
+// compiled layout, caching, and scratch reuse.
 
 // TestSortSlicedScratchReuse pins buffer pooling: running a second batch
 // through a Reset slice must give the same results as a fresh slice.
