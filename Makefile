@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold experiments experiments-quick lemmas fmt vet cover lint meshlint serve-smoke
+.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold experiments experiments-quick lemmas fmt vet cover lint meshlint vet-perf serve-smoke
 
 all: build vet test
 
@@ -60,9 +60,18 @@ vet:
 	$(GO) vet ./...
 
 # meshlint runs only the project's own invariant-enforcing passes
-# (oblivious, schedpurity, detrand, floateq); see docs/INVARIANTS.md.
+# (oblivious, schedpurity, detrand, floateq, hotalloc, ctxflow,
+# lockguard, leakcheck); see docs/INVARIANTS.md.
 meshlint:
 	$(GO) run ./cmd/meshlint ./...
+
+# vet-perf is the performance-invariant gate: the eight meshlint passes
+# plus the gcdiag escape/bounds-check manifest diff over the kernel hot
+# files. The gcdiag half is pinned to one Go toolchain version and skips
+# itself with a notice under any other, so this target is safe to run
+# everywhere; CI runs it on the pinned toolchain where it bites.
+vet-perf:
+	$(GO) run ./cmd/meshlint -gcdiag ./...
 
 # End-to-end smoke of the trial-serving daemon: boots meshsortd on a
 # random port, serves one job per algorithm through meshsortctl, asserts

@@ -1,6 +1,8 @@
 package meshsort
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -176,7 +178,7 @@ func BenchmarkProcMesh(b *testing.B) {
 
 // ---------------------------------------------------------------------------
 // Batched trial engine: the historical per-trial loop (rebuild the schedule
-// from scratch every trial, run it single-threaded) against mcbatch.Run
+// from scratch every trial, run it single-threaded) against mcbatch.RunCtx
 // (shared compiled schedule, trial-level worker pool). Same seeds, same
 // trials, identical step counts either way — only the driver changes.
 // ---------------------------------------------------------------------------
@@ -230,7 +232,7 @@ func BenchmarkBatchedTrials(b *testing.B) {
 	})
 	b.Run("mcbatch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := mcbatch.Run(mcbatch.Spec{
+			if _, err := mcbatch.RunCtx(context.Background(), mcbatch.Spec{
 				Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed,
 			}); err != nil {
 				b.Fatal(err)

@@ -5,7 +5,7 @@
 //   - batch (default, BENCH_batch.json via `make bench-batch`): the
 //     historical per-trial loop (schedule rebuilt every trial, Step(t)
 //     fetched through the interface, tracker dispatched per swap) against
-//     mcbatch.Run on the same seeds and trials, plus the scalar engine
+//     mcbatch.RunCtx on the same seeds and trials, plus the scalar engine
 //     against the bit-packed 0-1 kernel on identical half-ones grids.
 //   - kernel (BENCH_kernel.json via `make bench-kernel`): the span kernel
 //     sweep — for each side in {32, 64, 128}, single-thread legacy vs
@@ -20,7 +20,7 @@
 //     the batch's canonical per-trial streams (generation is byte-equal
 //     across arms, so the timed region is the kernel alone). The suite
 //     doubles as a differential check: before timing, the three kernels
-//     run through mcbatch.Run and must return bit-identical batches or
+//     run through mcbatch.RunCtx and must return bit-identical batches or
 //     the run fails. For peak sliced numbers keep -trials a multiple of
 //     64 (full lane occupancy).
 //   - threshold (BENCH_threshold.json via `make bench-threshold`): the
@@ -48,6 +48,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -192,6 +193,10 @@ type thresholdResult struct {
 	Chunks              int     `json:"chunks"` // ceil((N-1)/63) threshold chunks per trial
 	SpanNsPerTrial      float64 `json:"span_ns_per_trial"`
 	ThresholdNsPerTrial float64 `json:"threshold_ns_per_trial"`
+	SpanAllocsPerTrial  float64 `json:"span_allocs_per_trial"`
+	// ThresholdAllocsPerTrial is asserted to be exactly zero: with a
+	// reused scratch, SortThresholds touches no heap at all.
+	ThresholdAllocsPerTrial float64 `json:"threshold_allocs_per_trial"`
 	// The scalar decomposition is timed on its own smaller input count
 	// (DecompTrials): it is hundreds of times slower, and timing the full
 	// batch through it would dominate the suite's wall clock.
@@ -224,6 +229,21 @@ func allocsPerOp(ops int, fn func() error) (float64, error) {
 	}
 	runtime.ReadMemStats(&after)
 	return float64(after.Mallocs-before.Mallocs) / float64(ops), nil
+}
+
+// assertAllocBudget is the dynamic side of the meshvet allocation gate:
+// each hot suite asserts its kernels stay under a pinned allocs/op
+// ceiling, so a kernel that starts allocating per step or per swap fails
+// `make bench-*` loudly instead of drifting until someone rereads a
+// report. Budgets are ceilings on today's measured per-trial setup costs
+// (tracker, shadow arrays, result structs), not targets — the
+// threshold arm with reused scratch asserts exactly zero.
+func assertAllocBudget(name string, got, budget float64) error {
+	if got > budget {
+		return fmt.Errorf("%s ran at %.3f allocs/op over its budget of %g — a hot kernel started allocating (gate: docs/INVARIANTS.md, performance invariants)",
+			name, got, budget)
+	}
+	return nil
 }
 
 // legacySortTrial reproduces the pre-batching per-trial code path exactly
@@ -278,7 +298,7 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 			legacyBest = d
 		}
 		start = time.Now()
-		if _, err := mcbatch.Run(spec); err != nil {
+		if _, err := mcbatch.RunCtx(context.Background(), spec); err != nil {
 			return batchedResult{}, err
 		}
 		if d := time.Since(start); d < batchBest {
@@ -299,10 +319,16 @@ func measureBatched(reps, trials int, side int, seed uint64) (batchedResult, err
 		return batchedResult{}, err
 	}
 	batchAllocs, err := allocsPerOp(trials, func() error {
-		_, err := mcbatch.Run(spec)
+		_, err := mcbatch.RunCtx(context.Background(), spec)
 		return err
 	})
 	if err != nil {
+		return batchedResult{}, err
+	}
+	if err := assertAllocBudget("legacy per-trial loop", legacyAllocs, 128); err != nil {
+		return batchedResult{}, err
+	}
+	if err := assertAllocBudget("mcbatch batch", batchAllocs, 16); err != nil {
 		return batchedResult{}, err
 	}
 	enc := report.SpecOf(spec)
@@ -447,7 +473,7 @@ func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResul
 		}
 		spec.Kernel = core.KernelGeneric
 		start = time.Now()
-		if _, err := mcbatch.Run(spec); err != nil {
+		if _, err := mcbatch.RunCtx(context.Background(), spec); err != nil {
 			return singleThreadResult{}, err
 		}
 		if d := time.Since(start); d < genericBest {
@@ -455,7 +481,7 @@ func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResul
 		}
 		spec.Kernel = core.KernelSpan
 		start = time.Now()
-		if _, err := mcbatch.Run(spec); err != nil {
+		if _, err := mcbatch.RunCtx(context.Background(), spec); err != nil {
 			return singleThreadResult{}, err
 		}
 		if d := time.Since(start); d < spanBest {
@@ -480,12 +506,21 @@ func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResul
 	for i, k := range []core.Kernel{core.KernelGeneric, core.KernelSpan} {
 		spec.Kernel = k
 		allocs[i], err = allocsPerOp(trials, func() error {
-			_, err := mcbatch.Run(spec)
+			_, err := mcbatch.RunCtx(context.Background(), spec)
 			return err
 		})
 		if err != nil {
 			return singleThreadResult{}, err
 		}
+	}
+	if err := assertAllocBudget("legacy per-trial loop", legacyAllocs, 128); err != nil {
+		return singleThreadResult{}, err
+	}
+	if err := assertAllocBudget("generic kernel", allocs[0], 16); err != nil {
+		return singleThreadResult{}, err
+	}
+	if err := assertAllocBudget("span kernel", allocs[1], 16); err != nil {
+		return singleThreadResult{}, err
 	}
 	spec.Kernel = core.KernelAuto
 	enc := report.SpecOf(spec)
@@ -507,7 +542,7 @@ func measureSingleThread(reps, trials, side int, seed uint64) (singleThreadResul
 }
 
 // measureZeroOneSliced compares the three 0-1 kernel families at
-// GOMAXPROCS=1 on one side. It first runs the spec through mcbatch.Run
+// GOMAXPROCS=1 on one side. It first runs the spec through mcbatch.RunCtx
 // once per kernel family (untimed) and fails unless all three return
 // bit-identical batches — the bench run is itself a lockstep-equivalence
 // differential. It then pregenerates the batch's inputs from the
@@ -526,7 +561,7 @@ func measureZeroOneSliced(reps, trials, side int, seed uint64) (zeroOneSlicedRes
 	var batches [3]*mcbatch.Batch
 	for i, k := range [3]core.Kernel{core.KernelGeneric, core.KernelPacked, core.KernelSliced} {
 		spec.Kernel = k
-		b, err := mcbatch.Run(spec)
+		b, err := mcbatch.RunCtx(context.Background(), spec)
 		if err != nil {
 			return zeroOneSlicedResult{}, fmt.Errorf("%s arm: %w", names[i], err)
 		}
@@ -607,6 +642,18 @@ func measureZeroOneSliced(reps, trials, side int, seed uint64) (zeroOneSlicedRes
 		}
 		allocs[i] = a
 	}
+	// The sliced kernel's only allocations are the 3 per-block scratch
+	// slices of SortSliced, amortized over 64 lanes — anything at or
+	// above one alloc per trial means a lane loop started allocating.
+	if err := assertAllocBudget("cellwise 0-1 engine", allocs[0], 8); err != nil {
+		return zeroOneSlicedResult{}, err
+	}
+	if err := assertAllocBudget("packed 0-1 kernel", allocs[1], 12); err != nil {
+		return zeroOneSlicedResult{}, err
+	}
+	if err := assertAllocBudget("sliced 0-1 kernel", allocs[2], 0.999); err != nil {
+		return zeroOneSlicedResult{}, err
+	}
 	cellwise := float64(best[0].Nanoseconds()) / float64(trials)
 	packed := float64(best[1].Nanoseconds()) / float64(trials)
 	sliced := float64(best[2].Nanoseconds()) / float64(trials)
@@ -631,7 +678,7 @@ func measureZeroOneSliced(reps, trials, side int, seed uint64) (zeroOneSlicedRes
 
 // measureThreshold compares the exact permutation executors at
 // GOMAXPROCS=1 on one side. Like the zeroone suite it is a differential
-// first: the span and threshold kernels run the spec through mcbatch.Run
+// first: the span and threshold kernels run the spec through mcbatch.RunCtx
 // untimed and must return bit-identical batches. The timed arms then run
 // on inputs pregenerated from the batch's canonical streams: the span
 // kernel and the threshold kernel over all trials, the scalar
@@ -646,12 +693,12 @@ func measureThreshold(reps, trials, side int, seed uint64) (thresholdResult, err
 		Workers: 1,
 	}
 	spec.Kernel = core.KernelSpan
-	spanBatch, err := mcbatch.Run(spec)
+	spanBatch, err := mcbatch.RunCtx(context.Background(), spec)
 	if err != nil {
 		return thresholdResult{}, fmt.Errorf("span arm: %w", err)
 	}
 	spec.Kernel = core.KernelThreshold
-	threshBatch, err := mcbatch.Run(spec)
+	threshBatch, err := mcbatch.RunCtx(context.Background(), spec)
 	if err != nil {
 		return thresholdResult{}, fmt.Errorf("threshold arm: %w", err)
 	}
@@ -716,6 +763,23 @@ func measureThreshold(reps, trials, side int, seed uint64) (thresholdResult, err
 			}
 		}
 	}
+	spanAllocs, err := allocsPerOp(trials, runSpan)
+	if err != nil {
+		return thresholdResult{}, err
+	}
+	threshAllocs, err := allocsPerOp(trials, runThreshold)
+	if err != nil {
+		return thresholdResult{}, err
+	}
+	if err := assertAllocBudget("span kernel (threshold suite)", spanAllocs, 16); err != nil {
+		return thresholdResult{}, err
+	}
+	// The timed loops above have warmed the reused scratch, so the
+	// threshold arm must now run entirely allocation-free — zero, not a
+	// budget: one stray make in the chunk executor is one too many.
+	if err := assertAllocBudget("threshold kernel with reused scratch", threshAllocs, 0); err != nil {
+		return thresholdResult{}, err
+	}
 	span := float64(best[0].Nanoseconds()) / float64(trials)
 	thresh := float64(best[1].Nanoseconds()) / float64(trials)
 	decomp := float64(best[2].Nanoseconds()) / float64(decompTrials)
@@ -730,6 +794,8 @@ func measureThreshold(reps, trials, side int, seed uint64) (thresholdResult, err
 		Chunks:                  (n - 2 + 63) / 63,
 		SpanNsPerTrial:          span,
 		ThresholdNsPerTrial:     thresh,
+		SpanAllocsPerTrial:      spanAllocs,
+		ThresholdAllocsPerTrial: threshAllocs,
 		DecompTrials:            decompTrials,
 		ScalarDecompNsPerTrial:  decomp,
 		ThresholdVsSpan:         span / thresh,
@@ -751,7 +817,7 @@ func measureScaling(reps, trials, side, procs int, seed uint64) (scalingResult, 
 	best := time.Duration(1 << 62)
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
-		if _, err := mcbatch.Run(spec); err != nil {
+		if _, err := mcbatch.RunCtx(context.Background(), spec); err != nil {
 			return scalingResult{}, err
 		}
 		if d := time.Since(start); d < best {
@@ -882,7 +948,7 @@ func runThresholdSuite(reps, trials int) (any, string, error) {
 				Trials: probeTrials, Seed: seed, Workers: 1, Kernel: k,
 			}
 			start := time.Now()
-			if _, err := mcbatch.Run(spec); err != nil {
+			if _, err := mcbatch.RunCtx(context.Background(), spec); err != nil {
 				return 0, err
 			}
 			return float64(time.Since(start).Nanoseconds()) / probeTrials, nil

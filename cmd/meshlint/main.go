@@ -2,14 +2,25 @@
 // static-analysis passes of internal/lint, which enforce the simulator's
 // correctness invariants (oblivious schedules, shareable read-only
 // compiled schedules, deterministic simulation/statistics code, no exact
-// float comparisons in the closed-form analysis).
+// float comparisons in the closed-form analysis) and, since the meshvet
+// generation, its performance and concurrency invariants
+// (allocation-free //meshlint:hot kernels, context propagation below the
+// serving entry points, annotated lock discipline, goroutine join paths).
 //
 // Usage:
 //
-//	meshlint            # analyze every package of the module
-//	meshlint ./...      # same
+//	meshlint                 # analyze every package of the module
+//	meshlint ./...           # same
 //	meshlint repro/internal/sched ./internal/engine
-//	meshlint -list      # describe the analyzers and exit
+//	meshlint -list           # describe the analyzers and exit
+//	meshlint -gcdiag         # also diff compiler escape/BCE diagnostics
+//	meshlint -gcdiag-update  # regenerate the gcdiag golden manifest
+//
+// -gcdiag compares the compiler's escape-analysis and bounds-check
+// diagnostics for the kernel hot files against the golden manifest at
+// internal/lint/gcdiag/testdata/hotpaths.json; the manifest is pinned to
+// one Go toolchain version and the gate skips with a notice under any
+// other. After an intentional kernel change, -gcdiag-update re-pins it.
 //
 // meshlint exits 0 when the tree is clean, 1 when it found violations,
 // and 2 on usage or load errors. It needs no network and no module cache:
@@ -23,6 +34,7 @@ import (
 	"os"
 
 	"repro/internal/lint"
+	"repro/internal/lint/gcdiag"
 )
 
 func main() {
@@ -33,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("meshlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "describe the analyzers and exit")
+	gc := fs.Bool("gcdiag", false, "also diff compiler escape/BCE diagnostics against the golden manifest")
+	gcUpdate := fs.Bool("gcdiag-update", false, "regenerate the gcdiag golden manifest and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -50,6 +64,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "meshlint:", err)
 		return 2
 	}
+
+	if *gcUpdate {
+		if err := gcdiag.Update(root); err != nil {
+			fmt.Fprintln(stderr, "meshlint:", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "meshlint: regenerated %s\n", gcdiag.GoldenPath)
+		return 0
+	}
+
 	diags, err := lint.Check(root, fs.Args(), analyzers)
 	if err != nil {
 		fmt.Fprintln(stderr, "meshlint:", err)
@@ -58,8 +82,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, d := range diags {
 		fmt.Fprintln(stdout, d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "meshlint: %d finding(s)\n", len(diags))
+	findings := len(diags)
+
+	if *gc {
+		res, err := gcdiag.Run(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "meshlint:", err)
+			return 2
+		}
+		switch {
+		case res.Skipped:
+			fmt.Fprintln(stderr, res.Notice)
+		default:
+			for _, d := range res.Drift {
+				fmt.Fprintln(stdout, "gcdiag:", d)
+			}
+			for _, f := range res.Findings {
+				fmt.Fprintln(stdout, "gcdiag:   now:", f)
+			}
+			findings += len(res.Drift)
+		}
+	}
+
+	if findings > 0 {
+		fmt.Fprintf(stderr, "meshlint: %d finding(s)\n", findings)
 		return 1
 	}
 	return 0

@@ -422,6 +422,7 @@ func runStepSeq(g *grid.Grid, comps []sched.Comparator, tr grid.Tracker) (swaps,
 // home slices are hoisted out of the loop.
 //
 //meshlint:exempt oblivious compare-exchange primitive fused with tracker delta arithmetic
+//meshlint:hot
 func runStepDistinct(g *grid.Grid, comps []sched.Comparator, t *grid.DistinctTracker) (swaps, delta int) {
 	cells := g.Cells()
 	home, min := t.Home()
@@ -456,6 +457,7 @@ func runStepDistinct(g *grid.Grid, comps []sched.Comparator, t *grid.DistinctTra
 // in the zero region.
 //
 //meshlint:exempt oblivious compare-exchange primitive fused with tracker delta arithmetic
+//meshlint:hot
 func runStepZeroOne(g *grid.Grid, comps []sched.Comparator, t *grid.ZeroOneTracker) (swaps, delta int) {
 	cells := g.Cells()
 	region := t.ZeroRegion()

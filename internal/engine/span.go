@@ -232,6 +232,8 @@ func spanValuesFit(tr *grid.DistinctTracker, n int) bool {
 
 // b2i converts a comparison outcome to a swap increment without a
 // data-dependent branch (the compiler lowers it to a SETcc).
+//
+//meshlint:hot
 func b2i(b bool) int {
 	if b {
 		return 1
@@ -283,6 +285,8 @@ func wordView(cells []int32) []uint64 {
 // value to the left cell, with branchless min/max and no per-comparator
 // struct loads. Returns the number of exchanges (strict a > b, exactly
 // like the comparator executors).
+//
+//meshlint:hot
 func execHSpanFwd(cells []int32, u []uint64, start, pairs int32) int {
 	if u != nil && start&1 == 0 {
 		return execHFwdWords(u[start>>1 : int(start>>1)+int(pairs)])
@@ -302,6 +306,8 @@ func execHSpanFwd(cells []int32, u []uint64, start, pairs int32) int {
 // is one pair, and the sorted word is either the word itself or its
 // 32-bit rotation, picked by one conditional move — no lane unpacking
 // or repacking on the store path.
+//
+//meshlint:hot
 func execHFwdWords(w []uint64) int {
 	swaps := 0
 	for k, x := range w {
@@ -319,6 +325,8 @@ func execHFwdWords(w []uint64) int {
 // execHSpanRev is the reverse-direction variant: smaller value to the
 // right cell. The comparator's Lo is the right cell, so an exchange
 // happens exactly when w[k+1] > w[k] held before the step.
+//
+//meshlint:hot
 func execHSpanRev(cells []int32, u []uint64, start, pairs int32) int {
 	if u != nil && start&1 == 0 {
 		return execHRevWords(u[start>>1 : int(start>>1)+int(pairs)])
@@ -335,6 +343,8 @@ func execHSpanRev(cells []int32, u []uint64, start, pairs int32) int {
 }
 
 // execHRevWords mirrors execHFwdWords with the larger value kept left.
+//
+//meshlint:hot
 func execHRevWords(w []uint64) int {
 	swaps := 0
 	for k, x := range w {
@@ -353,6 +363,8 @@ func execHRevWords(w []uint64) int {
 // columns compared against the same run one row below, as two streaming
 // slices. This is the memory-order traversal of a uniform-parity column
 // step — the engine iterates rows, not comparators.
+//
+//meshlint:hot
 func execVSpan1(cells []int32, top, pairs, cols int32) int {
 	swaps := 0
 	t := cells[top : top+pairs]
@@ -369,6 +381,8 @@ func execVSpan1(cells []int32, top, pairs, cols int32) int {
 
 // execVSpanN applies a strided vertical span (stride 2 for the
 // alternating-parity column steps of SN-B/SN-C).
+//
+//meshlint:hot
 func execVSpanN(cells []int32, top, stride, pairs, cols int32) int {
 	swaps := 0
 	for k := int32(0); k < pairs; k++ {

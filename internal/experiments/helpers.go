@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -30,7 +31,7 @@ func pickInt(cfg Config, full, quick int) int {
 // the scheme the recorded EXPERIMENTS.md tables were generated with — so
 // the sample is identical regardless of scheduling or worker count.
 func measureSteps(cfg Config, a core.Algorithm, side, trials int) ([]int, error) {
-	batch, err := mcbatch.Run(mcbatch.Spec{
+	batch, err := mcbatch.RunCtx(context.Background(), mcbatch.Spec{
 		Algorithm: a,
 		Rows:      side,
 		Cols:      side,
@@ -49,7 +50,7 @@ func measureSteps(cfg Config, a core.Algorithm, side, trials int) ([]int, error)
 // randomness from its trial index (per-trial streams) so the outcome is
 // deterministic under any worker count.
 func mapTrials[T any](cfg Config, trials int, fn func(i int) (T, error)) ([]T, error) {
-	return mcbatch.Map(cfg.TrialWorkers, trials, fn)
+	return mcbatch.MapCtx(context.Background(), cfg.TrialWorkers, trials, fn)
 }
 
 // meanWithin reports whether the sample mean is within k standard errors

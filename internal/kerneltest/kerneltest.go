@@ -13,6 +13,7 @@
 package kerneltest
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -363,7 +364,7 @@ func CompareBatches(t *testing.T, spec mcbatch.Spec, workers []int) *mcbatch.Bat
 			spec.Kernel = k
 			spec.Workers = w
 			label := fmt.Sprintf("kernel=%s workers=%d", core.KernelName(k), w)
-			b, err := mcbatch.Run(spec)
+			b, err := mcbatch.RunCtx(context.Background(), spec)
 			if first {
 				first = false
 				ref, refErr, refLabel = b, err, label

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context propagation through the serving and batch
+// layers: cancellation must be able to reach from the HTTP handler (or
+// the daemon's lifecycle) into the trial loop, which only works if no
+// function along the way fabricates a fresh root context. The packages
+// below the entry points — internal/serve and internal/mcbatch — must
+// thread the context they were handed:
+//
+//   - context.TODO() is always flagged: it marks an unfinished plumbing
+//     job, and in these packages that job is done.
+//   - context.Background() in a function that already receives a
+//     context.Context or an *http.Request is flagged: the caller's
+//     context (or r.Context()) is the one to use.
+//   - context.Background() in an unexported function is flagged: only
+//     the packages' exported entry points may root a lifecycle.
+//   - context.Background() passed directly as a call argument is flagged
+//     even in exported functions: a wrapper that hands a fresh root to a
+//     ctx-taking callee silently severs its caller's cancellation.
+//     (Handing Background to the context package's own constructors is
+//     the sanctioned way to root a lifecycle, e.g. the daemon's baseCtx.)
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "forbid context.Background()/TODO() below the serving and batch " +
+		"entry points; blocking work must thread the caller's context",
+	Targets: func(path string) bool {
+		return path == "repro/internal/serve" || path == "repro/internal/mcbatch"
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkCtxFlowFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	hasCtx := funcHasParam(info, fn, isContextType)
+	hasReq := funcHasParam(info, fn, isHTTPRequestPtr)
+	exported := fn.Name.IsExported()
+
+	reported := map[token.Pos]bool{}
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule 4: Background handed straight to a non-context callee.
+		// When the function already receives a ctx or request, the more
+		// specific rules below name the value to use instead.
+		if !hasCtx && !hasReq && !calleeInPackage(info, call, "context") {
+			for _, arg := range call.Args {
+				ac, ok := ast.Unparen(arg).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if name, ok := contextRootCall(info, ac); ok && name == "Background" {
+					report(ac.Pos(),
+						"context.Background() fabricated at a call site severs the caller's cancellation; accept and forward a ctx parameter")
+				}
+			}
+		}
+		name, ok := contextRootCall(info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case name == "TODO":
+			report(call.Pos(), "context.TODO() marks unfinished plumbing; thread a real context here")
+		case hasCtx:
+			report(call.Pos(), "context.Background() in a function that receives a context.Context; use the parameter")
+		case hasReq:
+			report(call.Pos(), "context.Background() in a handler; use the request's context (r.Context())")
+		case !exported:
+			report(call.Pos(), "context.Background() below the package's entry points; thread a context parameter from the caller")
+		}
+		return true
+	})
+}
+
+// contextRootCall reports whether call is context.Background or
+// context.TODO.
+func contextRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "context" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// calleeInPackage reports whether call's static callee is a function of
+// the package with the given import path.
+func calleeInPackage(info *types.Info, call *ast.CallExpr, path string) bool {
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	}
+	fun, ok := obj.(*types.Func)
+	return ok && fun.Pkg() != nil && fun.Pkg().Path() == path
+}
+
+// funcHasParam reports whether any parameter of fn satisfies pred.
+func funcHasParam(info *types.Info, fn *ast.FuncDecl, pred func(types.Type) bool) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := info.Types[field.Type].Type; t != nil && pred(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}

@@ -7,9 +7,14 @@ import (
 	"strings"
 )
 
-// DefaultAnalyzers returns every meshlint pass, in reporting order.
+// DefaultAnalyzers returns every meshlint pass, in reporting order: the
+// paper-invariant generation (PR 2) followed by the meshvet
+// performance/concurrency generation.
 func DefaultAnalyzers() []*Analyzer {
-	return []*Analyzer{Oblivious, SchedPurity, DetRand, FloatEq}
+	return []*Analyzer{
+		Oblivious, SchedPurity, DetRand, FloatEq,
+		HotAlloc, CtxFlow, LockGuard, LeakCheck,
+	}
 }
 
 // Check is the multichecker entry point: it loads the requested packages

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc is the allocation gate of the meshvet generation: a function
+// whose doc comment carries the //meshlint:hot marker is a kernel hot
+// path — the span executor's leaf sweeps, the lockstep 0-1 run loops, the
+// compiled-schedule step lookup — and its body may not heap-allocate.
+// The paper's step-count throughput (DESIGN.md §8, §10, §11) rests on
+// these loops being allocation-free; a single innocent append or closure
+// reintroduces GC pressure that the benchmarks catch only long after the
+// fact. Flagged in a hot function:
+//
+//   - make, new, append (growth cannot be proven statically);
+//   - function literals (the closure header allocates);
+//   - slice and map composite literals, and &T{...};
+//   - string concatenation and string<->[]byte/[]rune conversions;
+//   - conversions to interface types (the value is boxed);
+//   - go and defer statements;
+//   - calls to anything that is not itself //meshlint:hot, a whitelisted
+//     builtin (len, cap, copy, clear, min, max, delete, panic), a
+//     math/bits or unsafe function, or a named alloc-free accessor from
+//     the allowlist below.
+//
+// The marker is transitive down the call graph by construction: a hot
+// function may only call hot functions (or allowlisted leaves), so
+// marking the entry of a kernel loop pins the whole loop.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid heap allocation in //meshlint:hot kernel functions: no " +
+		"make/new/append, closures, interface boxing, string concat, or " +
+		"calls outside the hot set and its allowlist",
+	Targets: func(path string) bool {
+		return path == "repro" || strings.HasPrefix(path, "repro/internal/")
+	},
+	Run: runHotAlloc,
+}
+
+// hotAllowedBuiltins never allocate (panic unwinds; its argument, if it
+// allocates, is on the terminating path by definition).
+var hotAllowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "clear": true,
+	"min": true, "max": true, "delete": true, "panic": true,
+}
+
+// hotAllowedPackages are entirely alloc-free by contract.
+var hotAllowedPackages = map[string]bool{
+	"math/bits": true,
+	"unsafe":    true,
+}
+
+// hotAllowedFuncs are individually vetted alloc-free accessors a hot
+// function may call across package boundaries (pkgpath.Name). They return
+// views of existing storage, never fresh storage; growing this list means
+// re-verifying that property.
+var hotAllowedFuncs = map[string]bool{
+	"repro/internal/grid.Cells":      true,
+	"repro/internal/grid.Rows":       true,
+	"repro/internal/grid.Cols":       true,
+	"repro/internal/grid.Home":       true,
+	"repro/internal/grid.ZeroRegion": true,
+}
+
+// hotMarked reports whether fn's doc comment carries //meshlint:hot.
+func hotMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotAlloc(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// First pass: collect the package's hot set, so hot-to-hot calls
+	// resolve regardless of declaration order.
+	hotObjs := map[types.Object]bool{}
+	var hotFuncs []*ast.FuncDecl
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !hotMarked(fn) {
+				continue
+			}
+			hotFuncs = append(hotFuncs, fn)
+			if obj := info.Defs[fn.Name]; obj != nil {
+				hotObjs[obj] = true
+			}
+		}
+	}
+	for _, fn := range hotFuncs {
+		checkHotFunc(pass, fn, hotObjs)
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl, hotObjs map[types.Object]bool) {
+	if fn.Body == nil {
+		return
+	}
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		args = append([]interface{}{name}, args...)
+		pass.Reportf(pos, "hot function %s: "+format, args...)
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			report(x.Pos(), "function literal allocates a closure")
+			return false
+		case *ast.GoStmt:
+			report(x.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			report(x.Pos(), "defer may allocate its frame record")
+		case *ast.CompositeLit:
+			if t := info.Types[x].Type; t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					report(x.Pos(), "composite literal allocates backing storage")
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					report(x.Pos(), "&composite literal escapes to the heap")
+				}
+			}
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.Types[x.X].Type) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if x.Tok == token.ADD_ASSIGN && len(x.Lhs) == 1 && isStringType(info.Types[x.Lhs[0]].Type) {
+				report(x.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, report, x, hotObjs)
+		}
+		return true
+	})
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// checkHotCall vets one call expression inside a hot function.
+func checkHotCall(pass *Pass, report func(token.Pos, string, ...interface{}), call *ast.CallExpr, hotObjs map[types.Object]bool) {
+	info := pass.Pkg.Info
+
+	// Conversions: T(x). Boxing into an interface allocates, and the
+	// string<->byte/rune-slice conversions copy into fresh storage.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		target := tv.Type
+		if types.IsInterface(target.Underlying()) {
+			report(call.Pos(), "conversion to interface %s boxes its operand", target.String())
+			return
+		}
+		if len(call.Args) == 1 {
+			src := info.Types[call.Args[0]].Type
+			if convAllocates(src, target) {
+				report(call.Pos(), "conversion %s -> %s copies into fresh storage", src.String(), target.String())
+			}
+		}
+		return
+	}
+
+	var obj types.Object
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	case *ast.IndexExpr:
+		if id, ok := f.X.(*ast.Ident); ok { // generic instantiation
+			obj = info.Uses[id]
+		}
+	}
+	switch o := obj.(type) {
+	case *types.Builtin:
+		switch o.Name() {
+		case "make", "new":
+			report(call.Pos(), "%s allocates", o.Name())
+		case "append":
+			report(call.Pos(), "append may grow its backing array")
+		default:
+			if !hotAllowedBuiltins[o.Name()] {
+				report(call.Pos(), "call to builtin %s is outside the hot allowlist", o.Name())
+			}
+		}
+	case *types.Func:
+		if hotObjs[o] {
+			return
+		}
+		pkg := o.Pkg()
+		if pkg != nil && hotAllowedPackages[pkg.Path()] {
+			return
+		}
+		if pkg != nil && hotAllowedFuncs[pkg.Path()+"."+o.Name()] {
+			return
+		}
+		report(call.Pos(), "call to non-hot function %s", o.Name())
+	case nil:
+		report(call.Pos(), "dynamic call through a function value")
+	default:
+		// A variable of function type (package-level or local).
+		report(call.Pos(), "dynamic call through %s", obj.Name())
+	}
+}
+
+// convAllocates reports whether the conversion src -> dst copies into
+// fresh storage (string <-> []byte / []rune).
+func convAllocates(src, dst types.Type) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	fromString := isStringType(src)
+	toString := isStringType(dst)
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (fromString && isByteOrRuneSlice(dst)) || (toString && isByteOrRuneSlice(src))
+}

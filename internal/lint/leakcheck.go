@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LeakCheck requires every go statement in non-test code to carry a
+// visible join or cancel path, so a goroutine's lifetime can be read off
+// the spawn site instead of reconstructed from a stack dump. A spawn is
+// accepted when any of the repository's established shapes is present:
+//
+//   - a sync.WaitGroup Add call appears lexically before the go statement
+//     in the same function (the worker-pool shape: wg.Add(1); go ...,
+//     joined by a Wait elsewhere);
+//   - the spawned function's body calls a WaitGroup's Done;
+//   - the spawned function's body closes a channel (the done-channel
+//     shape: the spawner selects on that channel);
+//   - the spawned function's body receives from a Done() channel — the
+//     goroutine is context-bound and exits on cancellation;
+//   - the spawned function's body is a single channel send (the
+//     result-forwarding shape: go func() { errCh <- f() }(), where the
+//     buffered channel or a guaranteed receiver bounds the lifetime).
+//
+// Anything else — a bare go statement with no Add, no Done, no close, no
+// ctx, no single send — is flagged. The analyzer looks only at lexical
+// structure; it deliberately does not try to prove the matching Wait or
+// receive exists, because the point is that a reader must be able to find
+// the join path from the spawn site, and these shapes name it.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc: "every go statement needs a visible join/cancel path: a prior " +
+		"WaitGroup.Add, a Done/close/ctx-Done in the body, or a single-send body",
+	Targets: func(path string) bool {
+		return path == "repro" || strings.HasPrefix(path, "repro/internal/") ||
+			strings.HasPrefix(path, "repro/cmd/")
+	},
+	Run: runLeakCheck,
+}
+
+func runLeakCheck(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkGoStmts(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Lexical positions of WaitGroup Add calls in this function, so
+	// "wg.Add(1); go worker()" is accepted wherever the worker is defined.
+	var addPositions []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isWaitGroupMethod(info, call, "Add") {
+			addPositions = append(addPositions, call)
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		for _, add := range addPositions {
+			if add.Pos() < g.Pos() {
+				return true
+			}
+		}
+		if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok && bodyHasJoinPath(info, lit.Body) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine spawned in %s has no visible join or cancel path (no prior WaitGroup.Add, no Done/close/ctx in the body)",
+			fn.Name.Name)
+		return true
+	})
+}
+
+// bodyHasJoinPath reports whether a spawned function literal's body shows
+// one of the accepted lifetime shapes.
+func bodyHasJoinPath(info *types.Info, body *ast.BlockStmt) bool {
+	// Single-statement send: go func() { ch <- f() }().
+	if len(body.List) == 1 {
+		if _, ok := body.List[0].(*ast.SendStmt); ok {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, x, "Done") {
+				found = true
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					found = true
+				}
+			}
+			// ctx.Done() anywhere in the body (select/range/receive): the
+			// goroutine observes cancellation.
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if f, ok := info.Uses[sel.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "context" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWaitGroupMethod reports whether call is sync.WaitGroup's method name.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}

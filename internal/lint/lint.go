@@ -103,6 +103,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 const (
 	funcDirective = "//meshlint:exempt"
 	fileDirective = "//meshlint:file-exempt"
+	hotDirective  = "//meshlint:hot"
 )
 
 // directives holds the parsed exemptions of one package: analyzer name →
@@ -152,9 +153,12 @@ func parseDirectives(pkg *Package, known map[string]bool) directives {
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				if a, ok := parse(c, fileDirective); ok {
-					d.byAnalyzer[a] = append(d.byAnalyzer[a], posRange{file.Pos(), file.End()})
-				} else if strings.HasPrefix(c.Text, funcDirective) && !strings.HasPrefix(c.Text, fileDirective) {
+				switch {
+				case strings.HasPrefix(c.Text, fileDirective):
+					if a, ok := parse(c, fileDirective); ok {
+						d.byAnalyzer[a] = append(d.byAnalyzer[a], posRange{file.Pos(), file.End()})
+					}
+				case strings.HasPrefix(c.Text, funcDirective):
 					// Function-level directives are valid only inside a
 					// func declaration's doc comment; resolve them below.
 					// Here we only validate ones that are floating free.
@@ -163,6 +167,16 @@ func parseDirectives(pkg *Package, known map[string]bool) directives {
 							problem(c.Pos(), "//meshlint:exempt %s must be part of a func declaration's doc comment", a)
 						}
 					}
+				case c.Text == hotDirective || strings.HasPrefix(c.Text, hotDirective+" "):
+					// The hot marker (consumed by hotalloc) must sit in a
+					// func declaration's doc comment to mark anything.
+					fn := enclosingFunc(file, c.Pos())
+					if fn == nil || fn.Doc == nil || c.Pos() < fn.Doc.Pos() || c.End() > fn.Doc.End() {
+						problem(c.Pos(), "%s must be part of a func declaration's doc comment", hotDirective)
+					}
+				case strings.HasPrefix(c.Text, "//meshlint:"):
+					word := strings.Fields(c.Text)[0]
+					problem(c.Pos(), "unknown meshlint directive %s", word)
 				}
 			}
 		}

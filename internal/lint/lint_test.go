@@ -34,6 +34,22 @@ func TestFloatEq(t *testing.T) {
 	AnalyzerTest(t, FloatEq, moduleRoot(t), "testdata/floateq")
 }
 
+func TestHotAlloc(t *testing.T) {
+	AnalyzerTest(t, HotAlloc, moduleRoot(t), "testdata/hotalloc")
+}
+
+func TestCtxFlow(t *testing.T) {
+	AnalyzerTest(t, CtxFlow, moduleRoot(t), "testdata/ctxflow")
+}
+
+func TestLockGuard(t *testing.T) {
+	AnalyzerTest(t, LockGuard, moduleRoot(t), "testdata/lockguard")
+}
+
+func TestLeakCheck(t *testing.T) {
+	AnalyzerTest(t, LeakCheck, moduleRoot(t), "testdata/leakcheck")
+}
+
 // TestRepoClean is the acceptance gate: the repository itself must carry
 // zero meshlint findings — the seeded testdata violations (skipped by
 // package discovery) are the only ones allowed to exist.
@@ -73,6 +89,17 @@ func TestTargets(t *testing.T) {
 		{FloatEq, "repro/internal/stats", true},
 		{FloatEq, "repro/internal/experiments", true},
 		{FloatEq, "repro/internal/engine", false},
+		{HotAlloc, "repro/internal/engine", true},
+		{HotAlloc, "repro/internal/zeroone", true},
+		{HotAlloc, "repro/cmd/benchbatch", false}, // hot markers live in internal packages
+		{CtxFlow, "repro/internal/serve", true},
+		{CtxFlow, "repro/internal/mcbatch", true},
+		{CtxFlow, "repro/cmd/meshsortd", false}, // mains may root lifecycles
+		{LockGuard, "repro/internal/serve", true},
+		{LockGuard, "repro/cmd/meshsortd", false},
+		{LeakCheck, "repro/internal/serve", true},
+		{LeakCheck, "repro/internal/procmesh", true},
+		{LeakCheck, "repro/cmd/meshsortd", true},
 	}
 	for _, c := range cases {
 		if got := c.analyzer.Targets(c.path); got != c.want {

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard makes the serving layer's lock discipline a checked property
+// of the source instead of a comment convention. A struct field whose
+// declaration comment says "guarded by <mu>" (where <mu> names a
+// sync.Mutex or sync.RWMutex field of the same struct) may only be
+// accessed when that mutex is held in the enclosing function. "Held" is
+// established lexically, which matches how this repository writes its
+// critical sections:
+//
+//   - the enclosing function calls <base>.<mu>.Lock() (or RLock()) on the
+//     same receiver chain at a position before the access — the
+//     Lock/defer-Unlock and Lock/access/Unlock shapes both qualify; or
+//   - the enclosing function's name ends in "Locked", the existing
+//     convention for helpers whose contract is "caller holds the lock"
+//     (registerLocked, evictLocked, ...).
+//
+// The heuristic is deliberately lexical — it cannot prove aliasing or
+// cross-goroutine handoff — but every access it accepts is one a reviewer
+// can verify by reading a single function, and every access it rejects is
+// one -race only catches when a test happens to interleave badly.
+// Composite-literal construction sites (the value has not escaped yet)
+// use field keys, not selectors, and are not flagged.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "fields annotated \"guarded by mu\" may only be accessed with " +
+		"the named mutex held (lexical Lock before access, or a *Locked helper)",
+	Targets: func(path string) bool {
+		return path == "repro" || strings.HasPrefix(path, "repro/internal/")
+	},
+	Run: runLockGuard,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField records one annotated field: the mutex field name that
+// must be held around accesses.
+type guardedField struct {
+	mutex  string
+	strukt string // struct type name, for messages
+}
+
+func runLockGuard(pass *Pass) error {
+	// Pass 1: collect annotations. Keyed by the field's types.Var so
+	// selections resolve regardless of pointerness or embedding depth.
+	guarded := map[types.Object]guardedField{}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			collectGuards(pass, guarded, ts.Name.Name, st)
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return nil
+	}
+
+	// Pass 2: check every selector access against the annotations.
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fn, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuards records the "guarded by" annotations of one struct type,
+// validating that the named mutex is a sibling field of mutex type.
+func collectGuards(pass *Pass, guarded map[types.Object]guardedField, structName string, st *ast.StructType) {
+	info := pass.Pkg.Info
+	mutexFields := map[string]bool{}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil && isMutexType(obj.Type()) {
+				mutexFields[name.Name] = true
+			}
+		}
+	}
+	for _, f := range st.Fields.List {
+		text := ""
+		if f.Doc != nil {
+			text += f.Doc.Text()
+		}
+		if f.Comment != nil {
+			text += f.Comment.Text()
+		}
+		m := guardedByRE.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := m[1]
+		if !mutexFields[mu] {
+			pass.Reportf(f.Pos(),
+				"field is annotated \"guarded by %s\" but %s has no sync.Mutex or sync.RWMutex field named %s",
+				mu, structName, mu)
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := info.Defs[name]; obj != nil {
+				guarded[obj] = guardedField{mutex: mu, strukt: structName}
+			}
+		}
+	}
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// checkGuardedAccesses flags guarded-field selectors in fn that have no
+// lexically preceding Lock on the same base chain.
+func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object]guardedField) {
+	info := pass.Pkg.Info
+	callerHoldsLock := strings.HasSuffix(fn.Name.Name, "Locked")
+
+	// Collect the lock acquisitions of this function: base chain + mutex
+	// field name + position.
+	type acquisition struct {
+		base  string
+		mutex string
+		pos   token.Pos
+	}
+	var locks []acquisition
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f, ok := info.Uses[sel.Sel].(*types.Func); !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+			return true
+		}
+		locks = append(locks, acquisition{
+			base:  chainString(muSel.X),
+			mutex: muSel.Sel.Name,
+			pos:   call.Pos(),
+		})
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		g, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		if callerHoldsLock {
+			return true
+		}
+		base := chainString(sel.X)
+		for _, l := range locks {
+			if l.mutex == g.mutex && l.base == base && l.pos < sel.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s but accessed without %s.%s.Lock() held in %s",
+			g.strukt, sel.Sel.Name, g.mutex, base, g.mutex, fn.Name.Name)
+		return true
+	})
+}
+
+// chainString renders a receiver chain (j, s.cache, ...) for lexical
+// matching; anything other than idents and field selectors renders to a
+// non-matching placeholder so the heuristic stays conservative.
+func chainString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return chainString(x.X) + "." + x.Sel.Name
+	default:
+		return "<?>"
+	}
+}

@@ -1,0 +1,68 @@
+// Package ctxflow seeds violations for the ctxflow analyzer: fabricated
+// root contexts below the serving layer's entry points, next to the
+// sanctioned lifecycle-rooting shapes.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+// New is an exported entry point rooting its lifecycle through the
+// context package's own constructors — the one sanctioned use of
+// Background below main.
+func New() (context.Context, context.CancelFunc) {
+	return context.WithCancel(context.Background())
+}
+
+// Run receives a context and must use it.
+func Run(ctx context.Context) error {
+	c := context.Background() // want "receives a context.Context; use the parameter"
+	return drain(c)
+}
+
+// Handle receives a request whose context is the one to thread.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	_ = drain(context.Background()) // want "use the request's context"
+}
+
+// Close is the wrapper defect: exported, no ctx parameter, but handing a
+// fresh root straight to a ctx-taking callee severs the caller's
+// cancellation.
+func Close() error {
+	return drain(context.Background()) // want "severs the caller's cancellation"
+}
+
+// flush is below the entry points and may not root anything.
+func flush() error {
+	ctx := context.Background() // want "below the package's entry points"
+	return drain(ctx)
+}
+
+// stub still carries a TODO, which is always flagged here.
+func stub() error {
+	return drain(context.TODO()) // want "unfinished plumbing"
+}
+
+// forward is the fix shape: thread the parameter.
+func forward(ctx context.Context) error {
+	return drain(ctx)
+}
+
+// detach is a reviewed exception — e.g. audit logging that must outlive
+// the request — and shows the escape hatch.
+//
+//meshlint:exempt ctxflow testdata stand-in for fire-and-forget audit logging
+func detach() error {
+	return drain(context.Background())
+}
+
+func drain(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+var _ = flush
+var _ = stub
+var _ = forward
+var _ = detach

@@ -1,0 +1,103 @@
+// Package hotalloc seeds violations for the hotalloc analyzer: heap
+// allocations of every flavour inside functions marked //meshlint:hot,
+// next to the alloc-free shapes the kernels actually use.
+package hotalloc
+
+import "math/bits"
+
+// sweep is the clean shape: word loops, branchless arithmetic, calls to
+// allowlisted builtins, math/bits, and other hot functions only.
+//
+//meshlint:hot
+func sweep(dst, src []uint64) int {
+	n := copy(dst, src)
+	pop := 0
+	for _, w := range dst[:n] {
+		pop += bits.OnesCount64(w)
+	}
+	return min(pop, len(src)) + b2i(pop > 0)
+}
+
+// b2i is hot, so sweep's call to it is a hot-to-hot call and fine.
+//
+//meshlint:hot
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// grow carries the canonical regression: an innocent append in a kernel
+// loop.
+//
+//meshlint:hot
+func grow(dst []int, v int) []int {
+	dst = append(dst, v) // want "append may grow its backing array"
+	return dst
+}
+
+//meshlint:hot
+func fresh(n int) []int {
+	return make([]int, n) // want "make allocates"
+}
+
+//meshlint:hot
+func box(v int) {
+	sink = any(v) // want "conversion to interface"
+	p := new(int) // want "new allocates"
+	*p = v
+}
+
+//meshlint:hot
+func strings(s, t string) int {
+	u := s + t         // want "string concatenation allocates"
+	b := []byte(s)     // want "copies into fresh storage"
+	lit := []int{1, 2} // want "composite literal allocates backing storage"
+	return len(u) + len(b) + len(lit)
+}
+
+//meshlint:hot
+func escapes(c chan int, f func() int) {
+	go send(c)                       // want "go statement allocates a goroutine" "call to non-hot function send"
+	defer done()                     // want "defer may allocate its frame record" "call to non-hot function done"
+	sinkFn = func() int { return 0 } // want "function literal allocates a closure"
+	_ = f()                          // want "dynamic call through f"
+	helper()                         // want "call to non-hot function helper"
+}
+
+// cold is not marked, so it may allocate freely — the analyzer only
+// polices the declared hot set.
+func cold(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// exempted shows the escape hatch: hot, but with a reviewed exemption.
+//
+//meshlint:hot
+//meshlint:exempt hotalloc testdata stand-in for a vetted slow path
+func exempted(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+func helper() {}
+
+func send(c chan int) { c <- 1 }
+
+func done() {}
+
+var sink any
+
+var sinkFn func() int
+
+var _ = sweep
+var _ = grow
+var _ = fresh
+var _ = box
+var _ = strings
+var _ = cold
+var _ = exempted

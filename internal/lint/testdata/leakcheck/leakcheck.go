@@ -1,0 +1,92 @@
+// Package leakcheck seeds violations for the leakcheck analyzer: bare
+// goroutine spawns with no visible join or cancel path, next to every
+// lifetime shape the repository's non-test code uses.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+// pool is the worker-pool shape: Add before the spawn, Done in the body.
+func pool(n int, work func()) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	return &wg
+}
+
+// watch is the done-channel shape: the body closes the channel the
+// spawner will select on.
+func watch(work func()) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// bound is the context shape: the goroutine exits on cancellation.
+func bound(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				tick()
+			}
+		}
+	}()
+}
+
+// forward is the single-send shape: the goroutine's whole body is one
+// channel send, so its lifetime is bounded by the receive.
+func forward(errCh chan error, run func() error) {
+	go func() { errCh <- run() }()
+}
+
+// leak is the seeded defect: nothing joins it, nothing cancels it.
+func leak(work func()) {
+	go func() { // want "no visible join or cancel path"
+		for {
+			work()
+		}
+	}()
+}
+
+// fireAndForget spawns a named function with no Add anywhere before it.
+func fireAndForget() {
+	go spin() // want "no visible join or cancel path"
+}
+
+// addTooLate counts the worker after spawning it — the race the lexical
+// rule exists to keep unrepresentable.
+func addTooLate(wg *sync.WaitGroup) {
+	go spin() // want "no visible join or cancel path"
+	wg.Add(1)
+}
+
+// detached shows the escape hatch for a reviewed background task.
+//
+//meshlint:exempt leakcheck testdata stand-in for a process-lifetime janitor
+func detached() {
+	go spin()
+}
+
+func spin() {}
+
+var _ = pool
+var _ = watch
+var _ = bound
+var _ = forward
+var _ = leak
+var _ = fireAndForget
+var _ = addTooLate
+var _ = detached

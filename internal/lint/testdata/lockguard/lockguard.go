@@ -1,0 +1,72 @@
+// Package lockguard seeds violations for the lockguard analyzer:
+// annotated fields read or written without the named mutex held, next to
+// the sanctioned critical-section shapes.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// name is unannotated and may be touched freely.
+	name string
+}
+
+type table struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+	// guarded by lock
+	hits int // want "has no sync.Mutex or sync.RWMutex field named lock"
+}
+
+// inc is the canonical shape: Lock lexically before the access.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// incDeferred is the defer shape; the Lock still precedes the access.
+func (c *counter) incDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// peek is the seeded defect: a bare read racing every writer.
+func (c *counter) peek() int {
+	return c.n // want "counter.n is guarded by mu but accessed without"
+}
+
+// title touches only the unannotated field; nothing to check.
+func (c *counter) title() string { return c.name }
+
+// snapshotLocked follows the caller-holds-the-lock naming contract.
+func (c *counter) snapshotLocked() int { return c.n }
+
+// newCounter constructs through field keys — the value has not escaped,
+// so composite literals are not selector accesses and are not flagged.
+func newCounter() *counter { return &counter{n: 1, name: "fresh"} }
+
+// lookup takes the read lock; RLock counts as held.
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.items[k]
+}
+
+// wrongLock holds the counter's mutex, not the table's — a different base
+// chain, so the access is still bare.
+func wrongLock(c *counter, t *table) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(t.items) // want "table.items is guarded by mu but accessed without"
+}
+
+// drainAll shows the escape hatch for a reviewed single-threaded path.
+//
+//meshlint:exempt lockguard testdata stand-in for a shutdown path that owns the value exclusively
+func (t *table) drainAll() map[string]int { return t.items }
+
+var _ = newCounter
+var _ = wrongLock

@@ -48,13 +48,6 @@ import (
 	"repro/internal/zeroone"
 )
 
-// Map runs fn(0..n-1) across a pool of `workers` goroutines (0 means
-// GOMAXPROCS) and returns the results in index order. It is MapCtx with
-// a background context: the batch always runs to completion.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapCtx(context.Background(), workers, n, fn)
-}
-
 // MapCtx runs fn(0..n-1) across a pool of `workers` goroutines (0 means
 // GOMAXPROCS) and returns the results in index order. Work is handed out
 // by an atomic counter, so any worker may run any index — determinism is
@@ -194,11 +187,6 @@ func (b *Batch) StepCounts() []int {
 		out[i] = t.Steps
 	}
 	return out
-}
-
-// Run executes the batch described by spec to completion.
-func Run(spec Spec) (*Batch, error) {
-	return RunCtx(context.Background(), spec)
 }
 
 // RunCtx executes the batch described by spec until it completes or ctx is

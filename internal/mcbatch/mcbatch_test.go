@@ -1,6 +1,7 @@
 package mcbatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -31,12 +32,12 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		spec := spec
 		t.Run(fmt.Sprintf("%s-%dx%d-zeroone=%v", spec.Algorithm.ShortName(), spec.Rows, spec.Cols, spec.ZeroOne), func(t *testing.T) {
 			spec.Workers = 1
-			one, err := Run(spec)
+			one, err := RunCtx(context.Background(), spec)
 			if err != nil {
 				t.Fatal(err)
 			}
 			spec.Workers = 8
-			eight, err := Run(spec)
+			eight, err := RunCtx(context.Background(), spec)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -70,7 +71,7 @@ func TestMatchesLegacyPerTrialLoop(t *testing.T) {
 		}
 		want[i] = res.Steps
 	}
-	b, err := Run(Spec{Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed})
+	b, err := RunCtx(context.Background(), Spec{Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,12 +90,12 @@ func TestZeroOnePathMatchesScalarPath(t *testing.T) {
 			return workload.HalfZeroOne(src, 10, 10)
 		},
 	}
-	scalar, err := Run(spec)
+	scalar, err := RunCtx(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.ZeroOne = true
-	sliced, err := Run(spec)
+	sliced, err := RunCtx(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +114,14 @@ func TestZeroOneDefaultGen(t *testing.T) {
 	spec := Spec{
 		Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 70, Seed: 21, ZeroOne: true,
 	}
-	implicit, err := Run(spec)
+	implicit, err := RunCtx(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.Gen = func(src rng.Source, _ int) *grid.Grid {
 		return workload.HalfZeroOne(src, 8, 8)
 	}
-	explicit, err := Run(spec)
+	explicit, err := RunCtx(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,14 +139,14 @@ func TestZeroOneStepLimitError(t *testing.T) {
 		MaxSteps: 2,
 	}
 	spec.Kernel = core.KernelGeneric
-	_, wantErr := Run(spec)
+	_, wantErr := RunCtx(context.Background(), spec)
 	if wantErr == nil {
 		t.Fatal("MaxSteps=2 batch unexpectedly sorted")
 	}
 	for _, workers := range []int{1, 8} {
 		spec.Kernel = core.KernelSliced
 		spec.Workers = workers
-		_, err := Run(spec)
+		_, err := RunCtx(context.Background(), spec)
 		if err == nil {
 			t.Fatal("sliced path missed the step limit")
 		}
@@ -156,7 +157,7 @@ func TestZeroOneStepLimitError(t *testing.T) {
 }
 
 func TestAggregateMatchesSample(t *testing.T) {
-	b, err := Run(Spec{Algorithm: core.SnakeC, Rows: 8, Cols: 8, Trials: 50, Seed: 2})
+	b, err := RunCtx(context.Background(), Spec{Algorithm: core.SnakeC, Rows: 8, Cols: 8, Trials: 50, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestAggregateMatchesSample(t *testing.T) {
 }
 
 func TestMapOrderAndErrors(t *testing.T) {
-	out, err := Map(4, 100, func(i int) (int, error) { return i * i, nil })
+	out, err := MapCtx(context.Background(), 4, 100, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestMapOrderAndErrors(t *testing.T) {
 	// The error of the smallest failing index wins, regardless of
 	// completion order.
 	wantErr := errors.New("trial 7 failed")
-	_, err = Map(8, 100, func(i int) (int, error) {
+	_, err = MapCtx(context.Background(), 8, 100, func(i int) (int, error) {
 		if i >= 7 {
 			return 0, fmt.Errorf("trial %d failed", i)
 		}
@@ -196,20 +197,20 @@ func TestMapOrderAndErrors(t *testing.T) {
 		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 	// Empty and single-trial batches.
-	if out, err := Map(4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+	if out, err := MapCtx(context.Background(), 4, 0, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
 		t.Fatalf("empty Map: %v %v", out, err)
 	}
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Spec{Algorithm: core.SnakeA, Rows: 0, Cols: 4, Trials: 1}); err == nil {
+	if _, err := RunCtx(context.Background(), Spec{Algorithm: core.SnakeA, Rows: 0, Cols: 4, Trials: 1}); err == nil {
 		t.Fatal("invalid mesh accepted")
 	}
-	if _, err := Run(Spec{Algorithm: core.SnakeA, Rows: 4, Cols: 4, Trials: -1}); err == nil {
+	if _, err := RunCtx(context.Background(), Spec{Algorithm: core.SnakeA, Rows: 4, Cols: 4, Trials: -1}); err == nil {
 		t.Fatal("negative trials accepted")
 	}
 	// A Gen producing the wrong shape must fail loudly, not corrupt.
-	_, err := Run(Spec{
+	_, err := RunCtx(context.Background(), Spec{
 		Algorithm: core.SnakeA, Rows: 4, Cols: 4, Trials: 1,
 		Gen: func(src rng.Source, _ int) *grid.Grid { return grid.New(2, 2) },
 	})

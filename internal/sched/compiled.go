@@ -62,6 +62,8 @@ func (c *Compiled) Dims() (int, int) { return c.rows, c.cols }
 func (c *Compiled) Period() int { return len(c.phases) }
 
 // Step implements Schedule by indexed lookup.
+//
+//meshlint:hot
 func (c *Compiled) Step(t int) []Comparator {
 	return c.phases[(t-1)%len(c.phases)]
 }

@@ -14,10 +14,11 @@ import (
 // can be returned verbatim — byte-identical to the payload the original
 // execution produced — without re-running a single trial.
 type resultCache struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[mcbatch.Key]*list.Element
+	mu  sync.Mutex
+	max int
+	// ll orders entries front = most recently used. guarded by mu
+	ll    *list.List
+	items map[mcbatch.Key]*list.Element // guarded by mu
 }
 
 type cacheEntry struct {

@@ -42,16 +42,18 @@ type Job struct {
 	ID string
 	// Key is the canonical content address of the Spec.
 	Key mcbatch.Key
-	// cached records that the job was answered from the result cache at
-	// submit time (it never entered the queue).
-	cached bool
 
 	spec mcbatch.Spec
 
 	mu      sync.Mutex
-	state   JobState
-	errMsg  string
-	payload []byte
+	state   JobState // guarded by mu
+	errMsg  string   // guarded by mu
+	payload []byte   // guarded by mu
+	// cached records that the job was answered from the result cache at
+	// submit time (it never entered the queue). Written at submit under
+	// s.mu but read from handler goroutines, so it takes the job's own
+	// lock like the rest of the mutable state.
+	cached bool // guarded by mu
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -71,6 +73,21 @@ func (j *Job) Snapshot() (JobState, string, []byte) {
 
 // Done returns the channel closed at terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// markCached records a cache-hit birth; call before complete so any
+// observer released by the done channel already sees it.
+func (j *Job) markCached() {
+	j.mu.Lock()
+	j.cached = true
+	j.mu.Unlock()
+}
+
+// wasCached reports whether the job was answered from the result cache.
+func (j *Job) wasCached() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cached
+}
 
 func (j *Job) setRunning() {
 	j.mu.Lock()

@@ -1,0 +1,39 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestMain is the suite's goroutine-leak tripwire: the daemon's whole
+// design is that every goroutine it spawns has a join path (workers via
+// the WaitGroups, drain helpers via their done channels — the leakcheck
+// analyzer pins the shapes), so after every test's Cleanup has run, the
+// process must be back to the goroutine count it started with. The count
+// is polled briefly rather than read once, because closed httptest
+// servers and finished workers take a moment to unwind; a count still
+// elevated after the grace period fails the suite with full stacks, which
+// names the spawn site of whatever leaked.
+func TestMain(m *testing.M) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before {
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				fmt.Fprintf(os.Stderr,
+					"serve: goroutine leak: %d goroutines before the suite, %d after; stacks:\n%s\n",
+					before, runtime.NumGoroutine(), buf[:n])
+				code = 1
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	os.Exit(code)
+}

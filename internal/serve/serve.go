@@ -113,11 +113,13 @@ type Server struct {
 	queue chan *Job
 
 	mu       sync.Mutex
-	draining bool
-	nextID   int64
-	jobs     map[string]*Job
-	order    []string             // submission order, for registry eviction
-	byKey    map[mcbatch.Key]*Job // in-flight jobs, for singleflight dedup
+	draining bool            // guarded by mu
+	nextID   int64           // guarded by mu
+	jobs     map[string]*Job // guarded by mu
+	// order is the submission order, for registry eviction. guarded by mu
+	order []string
+	// byKey indexes in-flight jobs for singleflight dedup. guarded by mu
+	byKey map[mcbatch.Key]*Job
 
 	inflight sync.WaitGroup // enqueued jobs not yet terminal
 	workers  sync.WaitGroup
@@ -254,7 +256,7 @@ func (s *Server) submit(req JobRequest) (submitOutcome, *apiError) {
 	if payload, ok := s.cache.get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		job := s.registerLocked(key, spec)
-		job.cached = true
+		job.markCached()
 		job.complete(payload)
 		return submitOutcome{job: job, cached: true}, nil
 	}
@@ -343,10 +345,18 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close shuts down immediately: running jobs are cancelled (they fail
-// with the context error), then the pool is stopped.
+// with the context error), then the pool is stopped. Cancelled jobs reach
+// a terminal state promptly, so the unbounded waits cannot hang — Close
+// needs no deadline context, and fabricating a root one here would hide
+// that property.
 func (s *Server) Close() {
 	s.baseCancel()
-	_ = s.Drain(context.Background())
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.workers.Wait()
 }
 
 // Handler returns the daemon's HTTP surface, wrapped in request logging.
@@ -494,7 +504,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	state, errMsg, payload := job.Snapshot()
 	switch state {
 	case JobDone:
-		if job.cached {
+		if job.wasCached() {
 			w.Header().Set("X-Meshsort-Cache", "hit")
 		} else {
 			w.Header().Set("X-Meshsort-Cache", "miss")

@@ -129,7 +129,7 @@ func TestJobLifecycle(t *testing.T) {
 	}
 
 	spec := mcbatch.Spec{Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 40, Seed: 11}
-	want, err := mcbatch.Run(spec)
+	want, err := mcbatch.RunCtx(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -57,9 +57,7 @@ func ExactWorstCaseSteps(s sched.Schedule) (worst int, witness *grid.Grid, err e
 	}
 	vals := make([]int, n)
 	for mask := 0; mask < 1<<n; mask++ {
-		for i := 0; i < n; i++ {
-			vals[i] = (mask >> i) & 1
-		}
+		fillMask(vals, mask)
 		g := grid.FromValues(rows, cols, vals)
 		res, runErr := engine.Run(g, s, engine.Options{})
 		if runErr != nil {
@@ -67,16 +65,23 @@ func ExactWorstCaseSteps(s sched.Schedule) (worst int, witness *grid.Grid, err e
 		}
 		if res.Steps > worst {
 			worst = res.Steps
-			witness = grid.FromValues(rows, cols, func() []int {
-				w := make([]int, n)
-				for i := 0; i < n; i++ {
-					w[i] = (mask >> i) & 1
-				}
-				return w
-			}())
+			w := make([]int, n)
+			fillMask(w, mask)
+			witness = grid.FromValues(rows, cols, w)
 		}
 	}
 	return worst, witness, nil
+}
+
+// fillMask writes the 0-1 input encoded by mask into vals, bit i to cell
+// i. It runs 2^N times per exhaustive sweep, so it is pinned hot: the
+// sweep's allocations stay in its callers, one slice per enumeration.
+//
+//meshlint:hot
+func fillMask(vals []int, mask int) {
+	for i := range vals {
+		vals[i] = (mask >> i) & 1
+	}
 }
 
 // CertifyZeroOne verifies that schedule s sorts every 0-1 input of its mesh
@@ -91,9 +96,7 @@ func CertifyZeroOne(s sched.Schedule, maxSteps int) error {
 	}
 	vals := make([]int, n)
 	for mask := 0; mask < 1<<n; mask++ {
-		for i := 0; i < n; i++ {
-			vals[i] = (mask >> i) & 1
-		}
+		fillMask(vals, mask)
 		g := grid.FromValues(rows, cols, vals)
 		if _, err := engine.Run(g, s, engine.Options{MaxSteps: maxSteps}); err != nil {
 			return fmt.Errorf("sortnet: %s fails on 0-1 input %#x: %w", s.Name(), mask, err)

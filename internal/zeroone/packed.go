@@ -191,6 +191,8 @@ func CachedPacked(name string, rows, cols int) (*PackedSchedule, error) {
 
 // shiftDownWords sets dst so that bit p of dst equals bit p+d of src
 // (d >= 0); bits shifted in from beyond the top are zero.
+//
+//meshlint:hot
 func shiftDownWords(dst, src []uint64, d int) {
 	w := len(src)
 	ws, bs := d>>6, uint(d&63)
@@ -229,6 +231,8 @@ func shiftDownWords(dst, src []uint64, d int) {
 
 // shiftUpWords sets dst so that bit p+d of dst equals bit p of src
 // (d >= 0); low-order bits are zero.
+//
+//meshlint:hot
 func shiftUpWords(dst, src []uint64, d int) {
 	w := len(src)
 	ws, bs := d>>6, uint(d&63)

@@ -329,6 +329,8 @@ func CachedSliced(name string, rows, cols int) (*SlicedSchedule, error) {
 // shows a 0 after it. This works for every lane simultaneously whatever
 // each lane's zero count is, and exits as soon as every candidate lane is
 // known unsorted — a handful of cells for far-from-sorted lanes.
+//
+//meshlint:hot
 func unsortedAmong(w []uint64, ranks []int32, cand uint64) uint64 {
 	var seen, viol uint64
 	for _, f := range ranks {
@@ -586,6 +588,8 @@ func SortSliced(ts *TrialSlice, ss *SlicedSchedule, maxSteps int) (results []eng
 // laneMisplaced counts lane k's 1s inside its zero region — the first
 // alpha target ranks, alpha being the lane's zero count — matching
 // grid.ZeroOneTracker's misplacement measure exactly.
+//
+//meshlint:hot
 func laneMisplaced(w []uint64, ranks []int32, n, k int) int {
 	ones := 0
 	for _, x := range w {

@@ -47,6 +47,7 @@ var ErrNotPermutation = errors.New("zeroone: grid is not a permutation of 1..N")
 // overwrites every lane, so no Reset is needed between loads.
 //
 //meshlint:exempt oblivious building the threshold staircases reads every cell once by definition; no comparator depends on the values
+//meshlint:hot
 func (ts *TrialSlice) LoadThresholds(g *grid.Grid, base int) {
 	if g.Rows() != ts.rows || g.Cols() != ts.cols {
 		panic("zeroone: LoadThresholds grid does not match trial-slice dimensions")
@@ -113,6 +114,12 @@ func SortThresholds(g *grid.Grid, ss *SlicedSchedule, maxSteps int, sc *Threshol
 	}
 	cells := g.Cells()
 	n := len(cells)
+	// Size the executor's run-recency array once here: the chunk loop is
+	// the allocation-free hot region, and a reused scratch keeps the whole
+	// call at zero allocations (cmd/benchbatch asserts exactly that).
+	if cap(sc.lastExec) < ss.totalRuns {
+		sc.lastExec = make([]int32, ss.totalRuns)
+	}
 
 	// Validate 1..N-ness with the counts array doubling as a seen table;
 	// the grid is untouched until validation passes.
@@ -188,12 +195,11 @@ func SortThresholds(g *grid.Grid, ss *SlicedSchedule, maxSteps int, sc *Threshol
 // the sentinel lane 0 excluded), and lastSwap is the chunk-wide last step
 // that swapped anything — the step its slowest projection finished, since
 // a sorted 0-1 lane is a fixed point from its last swap on.
+//
+//meshlint:hot
 func runThresholdChunk(w []uint64, ss *SlicedSchedule, maxSteps int, sc *ThresholdScratch) (lastSwap int32, swaps int64, unsorted bool) {
 	blockMax := sc.blockMax
 	clear(blockMax)
-	if cap(sc.lastExec) < ss.totalRuns {
-		sc.lastExec = make([]int32, ss.totalRuns)
-	}
 	lastExec := sc.lastExec[:ss.totalRuns]
 	for i := range lastExec {
 		lastExec[i] = -1
