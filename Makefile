@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold experiments experiments-quick lemmas fmt vet cover lint meshlint vet-perf serve-smoke
+.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold bench-bigside experiments experiments-quick lemmas fmt vet cover lint meshlint vet-perf serve-smoke
 
 all: build vet test
 
@@ -43,6 +43,15 @@ bench-zeroone:
 # (writes BENCH_threshold.json at the repo root).
 bench-threshold:
 	$(GO) run ./cmd/benchbatch -suite threshold -out BENCH_threshold.json $(BENCHFLAGS)
+
+# Large-mesh sharded span sweep: serial span baseline vs the sharded
+# executor across shard counts and GOMAXPROCS, with a built-in
+# serial-vs-sharded differential in every arm (writes BENCH_bigside.json
+# at the repo root). The default sides {256,512,1024} take tens of
+# minutes serially; pass BENCHFLAGS="-sides 64,128 -reps 1" for a quick
+# look. Speedups are bounded by the host's core count.
+bench-bigside:
+	$(GO) run ./cmd/benchbatch -suite bigside -out BENCH_bigside.json $(BENCHFLAGS)
 
 experiments:
 	$(GO) run ./cmd/experiments

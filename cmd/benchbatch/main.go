@@ -32,6 +32,18 @@
 //     ratios show span far ahead on throughput and the threshold kernel
 //     far ahead of the scalar decomposition it replaces for
 //     verification.
+//   - bigside (BENCH_bigside.json via `make bench-bigside`): the sharded
+//     span executor on large meshes — for each side (default
+//     {256, 512, 1024}), a single-thread serial span baseline, then a
+//     shards × GOMAXPROCS sweep through one persistent ShardPool on
+//     identical pregenerated inputs, reporting ns/trial, warm-pool
+//     allocs/trial, and speedup vs serial, plus the measured E[steps]/N
+//     constant next to the paper's Theorem 7 floor. Every arm doubles as
+//     a differential: per-trial Results must match the serial baseline
+//     bit for bit, a final-grid comparison guards the write-back, and
+//     smoke-scale sides (≤128) also check the mcbatch worker × shard
+//     split. Speedups are bounded by num_cpu (in the header): with 8
+//     shards the ≥3x target needs ≥8 physical cores.
 //
 // Arms are interleaved rep by rep and the per-arm minimum is reported, so
 // a background load spike degrades both arms of a rep rather than biasing
@@ -43,7 +55,8 @@
 //
 // Usage:
 //
-//	benchbatch [-suite batch|kernel|zeroone|threshold] [-out FILE] [-reps 5] [-trials 64]
+//	benchbatch [-suite batch|kernel|zeroone|threshold|bigside] [-out FILE] [-reps 5] [-trials 64]
+//	           [-sides 256,512,1024] [-shards 1,2,4,8] [-procs N,...]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 package main
 
@@ -52,10 +65,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	meshsort "repro"
@@ -71,6 +88,59 @@ import (
 	"repro/internal/workload"
 	"repro/internal/zeroone"
 )
+
+// hostInfo is the header every suite report embeds: enough context to
+// read a committed BENCH_*.json without the machine it ran on. Speedups
+// and parallel efficiencies are meaningless without NumCPU, and ns/trial
+// figures shift with the microarchitecture (CPUModel) and the compiled
+// SIMD level (GOAMD64), so the header pins all of them.
+type hostInfo struct {
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	NumCPU      int    `json:"num_cpu"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	// GOAMD64 is the amd64 microarchitecture level the binary was built
+	// for (v1..v4), from the embedded build info; empty on other arches.
+	GOAMD64 string `json:"goamd64,omitempty"`
+	// CPUModel is the "model name" line of /proc/cpuinfo; empty where the
+	// file is unreadable (non-Linux hosts).
+	CPUModel string `json:"cpu_model,omitempty"`
+}
+
+func collectHostInfo() hostInfo {
+	h := hostInfo{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUModel:    cpuModel(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				h.GOAMD64 = s.Value
+			}
+		}
+	}
+	return h
+}
+
+func cpuModel() string {
+	buf, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(buf), "\n") {
+		if name, val, ok := strings.Cut(line, ":"); ok && strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(val)
+		}
+	}
+	return ""
+}
 
 // The per-measurement records embed report.SpecJSON — the Spec encoding
 // shared with the meshsortd service API — so the batch-describing field
@@ -99,11 +169,9 @@ type zeroOneResult struct {
 }
 
 type batchReport struct {
-	GeneratedAt string          `json:"generated_at"`
-	GoVersion   string          `json:"go_version"`
-	NumCPU      int             `json:"num_cpu"`
-	Batched     batchedResult   `json:"batched"`
-	ZeroOne     []zeroOneResult `json:"zeroone"`
+	hostInfo
+	Batched batchedResult   `json:"batched"`
+	ZeroOne []zeroOneResult `json:"zeroone"`
 }
 
 // singleThreadResult is one gomaxprocs=1 comparison of the three
@@ -139,9 +207,7 @@ type scalingResult struct {
 }
 
 type kernelReport struct {
-	GeneratedAt  string               `json:"generated_at"`
-	GoVersion    string               `json:"go_version"`
-	NumCPU       int                  `json:"num_cpu"`
+	hostInfo
 	SingleThread []singleThreadResult `json:"single_thread"`
 	Scaling      []scalingResult      `json:"scaling"`
 }
@@ -170,10 +236,8 @@ type zeroOneSlicedResult struct {
 }
 
 type zeroOneSuiteReport struct {
-	GeneratedAt string                `json:"generated_at"`
-	GoVersion   string                `json:"go_version"`
-	NumCPU      int                   `json:"num_cpu"`
-	Results     []zeroOneSlicedResult `json:"results"`
+	hostInfo
+	Results []zeroOneSlicedResult `json:"results"`
 }
 
 // thresholdResult is one gomaxprocs=1 comparison of the three exact
@@ -207,10 +271,8 @@ type thresholdResult struct {
 }
 
 type thresholdSuiteReport struct {
-	GeneratedAt string            `json:"generated_at"`
-	GoVersion   string            `json:"go_version"`
-	NumCPU      int               `json:"num_cpu"`
-	Results     []thresholdResult `json:"results"`
+	hostInfo
+	Results []thresholdResult `json:"results"`
 	// Tuner is a measured calibration table over the suite's shapes,
 	// produced with the same probe machinery mcbatch uses when
 	// $MESHSORT_TUNE is on — recorded so the report shows what a measured
@@ -221,8 +283,29 @@ type thresholdSuiteReport struct {
 // allocsPerOp runs fn once outside any timed region and returns the heap
 // allocations it performed divided by ops.
 func allocsPerOp(ops int, fn func() error) (float64, error) {
+	return allocsPerOpWarm(ops, nil, fn)
+}
+
+// allocsPerOpWarm is allocsPerOp with an uncounted warmup run inside
+// the measurement window. The window is pinned to GOMAXPROCS=1 with the
+// collector paused because the runtime's channel-park bookkeeping
+// otherwise leaks into the count: a GC cycle purges the per-P sudog
+// caches, and with many P's on a barrier-heavy fn (the sharded arms
+// cross thousands of phase barriers per trial) goroutines keep landing
+// on P's whose cache is empty, so the scheduler allocates fresh sudogs
+// — tens per run, nondeterministic, and proportional to the P count,
+// not to anything the kernel does. Allocation behaviour is
+// GOMAXPROCS-independent, so measuring on one P with a short warmup (a
+// step-capped run is plenty) after the explicit GC's purge sees exactly
+// the kernel's steady-state setup cost the budgets are pinned to.
+func allocsPerOpWarm(ops int, warm func(), fn func() error) (float64, error) {
 	var before, after runtime.MemStats
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
 	runtime.GC()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	if warm != nil {
+		warm()
+	}
 	runtime.ReadMemStats(&before)
 	if err := fn(); err != nil {
 		return 0, err
@@ -834,12 +917,275 @@ func measureScaling(reps, trials, side, procs int, seed uint64) (scalingResult, 
 	}, nil
 }
 
-func runBatchSuite(reps, trials int) (any, string, error) {
-	rep := batchReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
+// bigsideArm is one (shards, gomaxprocs) point of the sharded sweep.
+type bigsideArm struct {
+	Shards          int     `json:"shards"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+	NsPerTrial      float64 `json:"ns_per_trial"`
+	AllocsPerTrial  float64 `json:"allocs_per_trial"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// bigsideResult is one side of the large-mesh suite: a single-thread
+// serial span baseline, the shards × gomaxprocs sweep against it, and
+// the measured Θ(N) step constant next to the paper's bound. Every arm
+// is also a differential: each trial's Result must equal the serial
+// baseline's bit for bit, or the suite fails.
+type bigsideResult struct {
+	report.SpecJSON
+	Reps             int     `json:"reps"`
+	SerialNsPerTrial float64 `json:"serial_span_ns_per_trial"`
+	StepsMean        float64 `json:"steps_mean"`
+	// StepsPerN is the measured Θ(N) constant E[steps]/N.
+	StepsPerN float64 `json:"steps_per_n"`
+	// PaperLowerStepsPerN is Theorem 7's snake-A lower bound
+	// (N/2 − √N/2 − 4)/N evaluated at this N — the proved floor the
+	// measured constant must sit above.
+	PaperLowerStepsPerN float64      `json:"paper_lower_steps_per_n"`
+	Arms                []bigsideArm `json:"arms"`
+}
+
+type bigsideSuiteReport struct {
+	hostInfo
+	Results []bigsideResult `json:"results"`
+}
+
+// measureBigside runs one side of the bigside suite. The serial span
+// baseline is timed at GOMAXPROCS=1 and its per-trial Results recorded;
+// every sharded arm then re-runs the identical pregenerated inputs
+// through one persistent ShardPool and fails on the first Result that
+// deviates — the serial-vs-sharded differential is built into the timed
+// sweep, not a separate pass. A full final-grid comparison (untimed, at
+// the largest shard count) guards the write-back path the Result
+// equality cannot see.
+func measureBigside(reps, trials, side int, seed uint64, shardsSweep, procsSweep []int) (bigsideResult, error) {
+	alg := meshsort.SnakeA
+	name := alg.ShortName()
+	inputs := pregenInputs(alg, side, trials, seed, workload.RandomPermutationInto)
+	s, err := sched.Cached(name, side, side)
+	if err != nil {
+		return bigsideResult{}, err
 	}
+	maxShards := 1
+	for _, sh := range shardsSweep {
+		if sh > maxShards {
+			maxShards = sh
+		}
+	}
+	pool := engine.NewShardPool(maxShards)
+	defer pool.Close()
+	buf := grid.New(side, side)
+
+	base := make([]engine.Result, trials)
+	runSerial := func(record bool) error {
+		for t, in := range inputs {
+			copy(buf.Cells(), in.Cells())
+			res, err := engine.Run(buf, s, engine.Options{Kernel: engine.KernelSpan})
+			if err != nil {
+				return err
+			}
+			if record {
+				base[t] = res
+			}
+		}
+		return nil
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serialBest := time.Duration(1 << 62)
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		if err := runSerial(rep == 0); err != nil {
+			runtime.GOMAXPROCS(prev)
+			return bigsideResult{}, err
+		}
+		if d := time.Since(start); d < serialBest {
+			serialBest = d
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// Untimed grid differential: the Result comparison inside the arms
+	// proves steps/swaps/comparisons equal, this proves the sorted cells
+	// written back are too.
+	refGrid := inputs[0].Clone()
+	if _, err := engine.Run(refGrid, s, engine.Options{Kernel: engine.KernelSpan}); err != nil {
+		return bigsideResult{}, err
+	}
+	gotGrid := inputs[0].Clone()
+	res, err := engine.Run(gotGrid, s, engine.Options{
+		Kernel: engine.KernelSpanSharded, Shards: maxShards, ShardPool: pool,
+	})
+	if err != nil {
+		return bigsideResult{}, err
+	}
+	if res != base[0] || !gotGrid.Equal(refGrid) {
+		return bigsideResult{}, fmt.Errorf(
+			"side %d: sharded run (shards=%d) diverged from serial span — not bit-identical", side, maxShards)
+	}
+
+	var arms []bigsideArm
+	serialNs := float64(serialBest.Nanoseconds()) / float64(trials)
+	for _, procs := range procsSweep {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, sh := range shardsSweep {
+			armRun := func() error {
+				for t, in := range inputs {
+					copy(buf.Cells(), in.Cells())
+					res, err := engine.Run(buf, s, engine.Options{
+						Kernel: engine.KernelSpanSharded, Shards: sh, ShardPool: pool,
+					})
+					if err != nil {
+						return err
+					}
+					if res != base[t] {
+						return fmt.Errorf("side %d shards=%d procs=%d trial %d: result %+v != serial %+v — shard equivalence broken",
+							side, sh, procs, t, res, base[t])
+					}
+				}
+				return nil
+			}
+			best := time.Duration(1 << 62)
+			for rep := 0; rep < reps; rep++ {
+				start := time.Now()
+				if err := armRun(); err != nil {
+					runtime.GOMAXPROCS(prev)
+					return bigsideResult{}, err
+				}
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			// The timed reps have warmed the pool's arenas and plan memo, so
+			// this pass sees the steady state: the same small fixed per-trial
+			// setup cost the serial span kernel is held to, with zero
+			// contribution from the per-step barrier loop. The warmup is a
+			// step-capped sharded run — a few barrier crossings to refill the
+			// scheduler's sudog caches after allocsPerOpWarm's GC purge; its
+			// ErrStepLimit is the cap working, not a failure.
+			warm := func() {
+				copy(buf.Cells(), inputs[0].Cells())
+				_, _ = engine.Run(buf, s, engine.Options{
+					Kernel: engine.KernelSpanSharded, Shards: sh, ShardPool: pool, MaxSteps: 8,
+				})
+			}
+			allocs, err := allocsPerOpWarm(trials, warm, armRun)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return bigsideResult{}, err
+			}
+			if err := assertAllocBudget("sharded span trial (warm pool)", allocs, 16); err != nil {
+				runtime.GOMAXPROCS(prev)
+				return bigsideResult{}, err
+			}
+			ns := float64(best.Nanoseconds()) / float64(trials)
+			arms = append(arms, bigsideArm{
+				Shards:          sh,
+				GOMAXPROCS:      procs,
+				NsPerTrial:      ns,
+				AllocsPerTrial:  allocs,
+				SpeedupVsSerial: serialNs / ns,
+			})
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+
+	var stepsSum float64
+	for _, r := range base {
+		stepsSum += float64(r.Steps)
+	}
+	n := float64(side * side)
+	stepsMean := stepsSum / float64(trials)
+	spec := mcbatch.Spec{
+		Algorithm: alg, Rows: side, Cols: side, Trials: trials, Seed: seed, Workers: 1,
+	}
+	enc := report.SpecOf(spec)
+	enc.Kernel = "" // the record compares serial and sharded executors
+	return bigsideResult{
+		SpecJSON:            enc,
+		Reps:                reps,
+		SerialNsPerTrial:    serialNs,
+		StepsMean:           stepsMean,
+		StepsPerN:           stepsMean / n,
+		PaperLowerStepsPerN: (n/2 - math.Sqrt(n)/2 - 4) / n,
+		Arms:                arms,
+	}, nil
+}
+
+// bigsideTrials scales the per-side trial count down with the mesh area
+// (`trials` is the count at side 256), floored at 1: a single side-1024
+// trial costs minutes of serial span time, so the suite cannot afford
+// the constant-count policy of the small suites.
+func bigsideTrials(trials, side int) int {
+	t := trials * (256 * 256) / (side * side)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+func runBigsideSuite(reps, trials int, sides, shardsSweep, procsSweep []int) (any, string, error) {
+	rep := bigsideSuiteReport{hostInfo: collectHostInfo()}
+	const seed = 7
+	for _, side := range sides {
+		// Two-level budget differential at smoke-scale sides: the batch
+		// runner's worker × shard split must not change results either.
+		// Big sides skip it — each extra trial there costs minutes, and
+		// the engine-level differential inside measureBigside still runs.
+		if side <= 128 {
+			spec := mcbatch.Spec{
+				Algorithm: meshsort.SnakeA, Rows: side, Cols: side,
+				Trials: 4, Seed: seed, Workers: 1, Kernel: core.KernelSpan,
+			}
+			ref, err := mcbatch.RunCtx(context.Background(), spec)
+			if err != nil {
+				return nil, "", err
+			}
+			spec.Kernel = core.KernelSpanSharded
+			spec.Workers = 2
+			spec.Shards = 2
+			got, err := mcbatch.RunCtx(context.Background(), spec)
+			if err != nil {
+				return nil, "", err
+			}
+			if !reflect.DeepEqual(ref.Trials, got.Trials) || ref.Steps != got.Steps {
+				return nil, "", fmt.Errorf(
+					"side %d: sharded batch (workers=2, shards=2) differs from serial span batch", side)
+			}
+		}
+		r, err := measureBigside(reps, bigsideTrials(trials, side), side, seed, shardsSweep, procsSweep)
+		if err != nil {
+			return nil, "", err
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	last := rep.Results[len(rep.Results)-1]
+	bestArm := last.Arms[0]
+	for _, a := range last.Arms {
+		if a.SpeedupVsSerial > bestArm.SpeedupVsSerial {
+			bestArm = a
+		}
+	}
+	summary := fmt.Sprintf("side %d: best %.2fx vs serial span (%d shards, %d procs, %d cpu); steps/N %.3f vs paper floor %.3f",
+		last.Rows, bestArm.SpeedupVsSerial, bestArm.Shards, bestArm.GOMAXPROCS, rep.NumCPU,
+		last.StepsPerN, last.PaperLowerStepsPerN)
+	return rep, summary, nil
+}
+
+// parseIntsCSV parses a "256,512,1024"-style flag value.
+func parseIntsCSV(flagName, csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("-%s: %q is not a positive integer list", flagName, csv)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func runBatchSuite(reps, trials int) (any, string, error) {
+	rep := batchReport{hostInfo: collectHostInfo()}
 	batched, err := measureBatched(reps, trials, 32, 7)
 	if err != nil {
 		return nil, "", err
@@ -858,11 +1204,7 @@ func runBatchSuite(reps, trials int) (any, string, error) {
 }
 
 func runKernelSuite(reps, trials int) (any, string, error) {
-	rep := kernelReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-	}
+	rep := kernelReport{hostInfo: collectHostInfo()}
 	const seed = 7
 	sides := []int{32, 64, 128}
 	procsSweep := []int{1, 2, 4, 8}
@@ -899,11 +1241,7 @@ func runKernelSuite(reps, trials int) (any, string, error) {
 }
 
 func runZeroOneSuite(reps, trials int) (any, string, error) {
-	rep := zeroOneSuiteReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-	}
+	rep := zeroOneSuiteReport{hostInfo: collectHostInfo()}
 	const seed = 7
 	for _, side := range []int{32, 64, 128} {
 		r, err := measureZeroOneSliced(reps, trials, side, seed)
@@ -919,11 +1257,7 @@ func runZeroOneSuite(reps, trials int) (any, string, error) {
 }
 
 func runThresholdSuite(reps, trials int) (any, string, error) {
-	rep := thresholdSuiteReport{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		NumCPU:      runtime.NumCPU(),
-	}
+	rep := thresholdSuiteReport{hostInfo: collectHostInfo()}
 	const seed = 7
 	sides := []int{16, 32, 64}
 	for _, side := range sides {
@@ -972,10 +1306,13 @@ func fatal(err error) {
 
 func main() {
 	var (
-		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel, zeroone or threshold")
+		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel, zeroone, threshold or bigside")
 		out        = flag.String("out", "", "output file ('-' for stdout; default BENCH_<suite>.json)")
 		reps       = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
-		trials     = flag.Int("trials", 64, "Monte-Carlo trials per rep (kernel suite: count at side 32, scaled by area)")
+		trials     = flag.Int("trials", 64, "Monte-Carlo trials per rep (kernel suite: count at side 32, bigside: at side 256; scaled by area)")
+		sides      = flag.String("sides", "256,512,1024", "bigside suite: CSV of mesh sides")
+		shardsCSV  = flag.String("shards", "1,2,4,8", "bigside suite: CSV of shard counts to sweep")
+		procsCSV   = flag.String("procs", "", "bigside suite: CSV of GOMAXPROCS values for the sharded arms (default: num_cpu)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile after the measurement to this file")
 	)
@@ -994,6 +1331,8 @@ func main() {
 			*out = "BENCH_zeroone.json"
 		case "threshold":
 			*out = "BENCH_threshold.json"
+		case "bigside":
+			*out = "BENCH_bigside.json"
 		}
 	}
 
@@ -1023,8 +1362,25 @@ func main() {
 		rep, summary, err = runZeroOneSuite(*reps, *trials)
 	case "threshold":
 		rep, summary, err = runThresholdSuite(*reps, *trials)
+	case "bigside":
+		var sideList, shardList, procList []int
+		if sideList, err = parseIntsCSV("sides", *sides); err == nil {
+			shardList, err = parseIntsCSV("shards", *shardsCSV)
+		}
+		if err == nil {
+			if *procsCSV == "" {
+				procList = []int{runtime.NumCPU()}
+			} else {
+				procList, err = parseIntsCSV("procs", *procsCSV)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchbatch:", err)
+			os.Exit(2)
+		}
+		rep, summary, err = runBigsideSuite(*reps, *trials, sideList, shardList, procList)
 	default:
-		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel, zeroone or threshold)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel, zeroone, threshold or bigside)\n", *suite)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -95,14 +95,15 @@ func specFlags(fs *flag.FlagSet) func() serve.JobRequest {
 		trials   = fs.Int("trials", 0, "number of independent trials")
 		seed     = fs.Uint64("seed", 0, "master seed (0 = harness default)")
 		maxSteps = fs.Int("max-steps", 0, "per-trial step cap (0 = engine default)")
-		kernel   = fs.String("kernel", "", "executor family: auto, generic, span, packed, sliced or threshold")
+		kernel   = fs.String("kernel", "", "executor family: auto, generic, span, span-sharded, packed, sliced or threshold")
+		shards   = fs.Int("shards", 0, "intra-trial row shards for span-sharded (0 = auto); pure execution hint")
 		zeroone  = fs.Bool("zeroone", false, "run the bit-packed 0-1 kernel on half-0/half-1 grids")
 	)
 	return func() serve.JobRequest {
 		return serve.JobRequest{
 			Algorithm: *alg, Side: *side, Rows: *rows, Cols: *cols,
 			Trials: *trials, Seed: *seed, MaxSteps: *maxSteps,
-			Kernel: *kernel, ZeroOne: *zeroone,
+			Kernel: *kernel, Shards: *shards, ZeroOne: *zeroone,
 		}
 	}
 }

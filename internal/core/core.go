@@ -133,13 +133,22 @@ type Result = engine.Result
 type Kernel = engine.Kernel
 
 const (
-	KernelAuto      = engine.KernelAuto
-	KernelGeneric   = engine.KernelGeneric
-	KernelSpan      = engine.KernelSpan
-	KernelPacked    = engine.KernelPacked
-	KernelSliced    = engine.KernelSliced
-	KernelThreshold = engine.KernelThreshold
+	KernelAuto        = engine.KernelAuto
+	KernelGeneric     = engine.KernelGeneric
+	KernelSpan        = engine.KernelSpan
+	KernelPacked      = engine.KernelPacked
+	KernelSliced      = engine.KernelSliced
+	KernelThreshold   = engine.KernelThreshold
+	KernelSpanSharded = engine.KernelSpanSharded
 )
+
+// AutoShards re-exports the engine's shard-count heuristic so callers
+// above the engine (the kernel registry's selection gate, mcbatch's
+// parallelism budget) can ask whether sharding an R×C mesh is worth a
+// barrier without importing the engine.
+func AutoShards(rows, cols, budget int) int {
+	return engine.AutoShards(rows, cols, budget)
+}
 
 // KernelName returns the wire/CLI identifier of a kernel selector. It is
 // the inverse of KernelByName and the encoding used by the benchbatch
@@ -158,6 +167,8 @@ func KernelName(k Kernel) string {
 		return "sliced"
 	case KernelThreshold:
 		return "threshold"
+	case KernelSpanSharded:
+		return "span-sharded"
 	default:
 		return fmt.Sprintf("kernel%d", int(k))
 	}
@@ -179,8 +190,10 @@ func KernelByName(name string) (Kernel, error) {
 		return KernelSliced, nil
 	case "threshold":
 		return KernelThreshold, nil
+	case "span-sharded":
+		return KernelSpanSharded, nil
 	default:
-		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic, span, packed, sliced or threshold)", name)
+		return 0, fmt.Errorf("core: unknown kernel %q (want auto, generic, span, span-sharded, packed, sliced or threshold)", name)
 	}
 }
 

@@ -36,6 +36,15 @@ type Options struct {
 	// value, KernelAuto, uses the span kernel whenever the schedule
 	// qualifies.
 	Kernel Kernel
+	// Shards sets the row-shard count for KernelSpanSharded; 0 lets
+	// AutoShards decide from the mesh size and the parallelism budget.
+	// A pure execution hint: it can never change results.
+	Shards int
+	// ShardPool, if non-nil, supplies the persistent worker pool and
+	// arenas KernelSpanSharded reuses across runs; nil runs build a
+	// transient pool. Sharing a pool between concurrent runs is not
+	// allowed — give each goroutine its own.
+	ShardPool *ShardPool
 }
 
 // Result reports what a run did.
@@ -116,6 +125,11 @@ func Run(g *grid.Grid, s sched.Schedule, opts Options) (Result, error) {
 		if dt, ok := tr.(*grid.DistinctTracker); ok {
 			if opts.Kernel != KernelGeneric && spanValuesFit(dt, g.Len()) {
 				if plan := spanPlanFor(s, g); plan != nil {
+					if opts.Kernel == KernelSpanSharded {
+						if shards := resolveShards(opts, r, c); shards > 1 {
+							return runDistinctSpansSharded(g, plan, maxSteps, dt, shards, opts.ShardPool)
+						}
+					}
 					return runDistinctSpans(g, plan, maxSteps, dt)
 				}
 			}

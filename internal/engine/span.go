@@ -47,6 +47,13 @@ const (
 	// from the slices. Only mcbatch's permutation batches honor it; the
 	// engine itself treats it like KernelAuto.
 	KernelThreshold
+	// KernelSpanSharded requests the sharded span executor: the span
+	// kernel's phases partitioned into contiguous row blocks executed
+	// shard-parallel on a persistent pool with a phase barrier (see
+	// shard.go). Eligibility matches KernelSpan; runs that resolve to a
+	// single shard (small meshes, one-row grids, no parallelism budget)
+	// take the serial span path, keeping the hint-never-error semantics.
+	KernelSpanSharded
 )
 
 // Span exec kinds. Forward/reverse horizontal sweeps differ in which cell
@@ -395,6 +402,87 @@ func execVSpanN(cells []int32, top, stride, pairs, cols int32) int {
 	return swaps
 }
 
+// execPhaseSpans runs one span list — a whole phase for the serial
+// kernel, one shard's slice of a phase for the sharded kernel — for one
+// step and returns the number of exchanges. win is the list's two
+// active-window cursors [win[0], win[1]) and cur its per-span pair
+// cursors (two per span, indexed 2j relative to spans); both advance
+// permanently, exactly as documented on runDistinctSpans. Serial and
+// sharded executors share this body, so their inner logic cannot drift.
+//
+//meshlint:exempt oblivious settled-window trimming around a branchless span sweep; exactness is proven by the differential suites
+//meshlint:hot
+func execPhaseSpans(cells []int32, u []uint64, spans []span, cur, win []int32, p32, ns32, cols int32) int {
+	swaps := 0
+	jLo, jHi := win[0], win[1]
+	for jLo < jHi {
+		sp := &spans[jLo]
+		if sp.maxLoRank >= p32 && sp.minHiRank < ns32 {
+			break
+		}
+		jLo++
+	}
+	for jLo < jHi {
+		sp := &spans[jHi-1]
+		if sp.maxLoRank >= p32 && sp.minHiRank < ns32 {
+			break
+		}
+		jHi--
+	}
+	win[0], win[1] = jLo, jHi
+	for j := jLo; j < jHi; j++ {
+		sp := &spans[j]
+		if sp.maxLoRank < p32 || sp.minHiRank >= ns32 {
+			continue
+		}
+		c := 2 * int(j)
+		kLo, kHi := cur[c], cur[c+1]
+		if sp.affine {
+			// A pair whose min destination is already in the settled
+			// prefix (lr < p) or whose max destination is in the
+			// settled suffix (hr >= n-s) cannot swap — the same rule
+			// runDistinctLazy trims by. Affine ranks put all such
+			// pairs at the span's ends, one end per sign of the
+			// pitch.
+			if sp.dl > 0 {
+				for kLo < kHi && sp.lr0+kLo*sp.dl < p32 {
+					kLo++
+				}
+			} else if sp.dl < 0 {
+				for kLo < kHi && sp.lr0+(kHi-1)*sp.dl < p32 {
+					kHi--
+				}
+			}
+			if sp.dh > 0 {
+				for kLo < kHi && sp.hr0+(kHi-1)*sp.dh >= ns32 {
+					kHi--
+				}
+			} else if sp.dh < 0 {
+				for kLo < kHi && sp.hr0+kLo*sp.dh >= ns32 {
+					kLo++
+				}
+			}
+			cur[c], cur[c+1] = kLo, kHi
+			if kLo >= kHi {
+				continue
+			}
+		}
+		base := sp.base + kLo*sp.step
+		pairs := kHi - kLo
+		switch sp.kind {
+		case kindHFwd:
+			swaps += execHSpanFwd(cells, u, base, pairs)
+		case kindHRev:
+			swaps += execHSpanRev(cells, u, base, pairs)
+		case kindV1:
+			swaps += execVSpan1(cells, base, pairs, cols)
+		default:
+			swaps += execVSpanN(cells, base, sp.step, pairs, cols)
+		}
+	}
+	return swaps
+}
+
 // runDistinctSpans is the span kernel: the permutation fast path executed
 // as typed span sweeps instead of comparator slices. The inner loops are
 // branchless (min/max compile to conditional moves, the swap counter to a
@@ -464,74 +552,8 @@ func runDistinctSpans(g *grid.Grid, plan *spanPlan, maxSteps int, tr *grid.Disti
 		if pi++; pi == period {
 			pi = 0
 		}
-		swaps := 0
 		p32, ns32 := int32(p), int32(n-s)
-		jLo, jHi := win[w], win[w+1]
-		for jLo < jHi {
-			sp := &ph.spans[jLo]
-			if sp.maxLoRank >= p32 && sp.minHiRank < ns32 {
-				break
-			}
-			jLo++
-		}
-		for jLo < jHi {
-			sp := &ph.spans[jHi-1]
-			if sp.maxLoRank >= p32 && sp.minHiRank < ns32 {
-				break
-			}
-			jHi--
-		}
-		win[w], win[w+1] = jLo, jHi
-		for j := jLo; j < jHi; j++ {
-			sp := &ph.spans[j]
-			if sp.maxLoRank < p32 || sp.minHiRank >= ns32 {
-				continue
-			}
-			c := ph.curOff + 2*int(j)
-			kLo, kHi := cur[c], cur[c+1]
-			if sp.affine {
-				// A pair whose min destination is already in the settled
-				// prefix (lr < p) or whose max destination is in the
-				// settled suffix (hr >= n-s) cannot swap — the same rule
-				// runDistinctLazy trims by. Affine ranks put all such
-				// pairs at the span's ends, one end per sign of the
-				// pitch.
-				if sp.dl > 0 {
-					for kLo < kHi && sp.lr0+kLo*sp.dl < p32 {
-						kLo++
-					}
-				} else if sp.dl < 0 {
-					for kLo < kHi && sp.lr0+(kHi-1)*sp.dl < p32 {
-						kHi--
-					}
-				}
-				if sp.dh > 0 {
-					for kLo < kHi && sp.hr0+(kHi-1)*sp.dh >= ns32 {
-						kHi--
-					}
-				} else if sp.dh < 0 {
-					for kLo < kHi && sp.hr0+kLo*sp.dh >= ns32 {
-						kLo++
-					}
-				}
-				cur[c], cur[c+1] = kLo, kHi
-				if kLo >= kHi {
-					continue
-				}
-			}
-			base := sp.base + kLo*sp.step
-			pairs := kHi - kLo
-			switch sp.kind {
-			case kindHFwd:
-				swaps += execHSpanFwd(cells, u, base, pairs)
-			case kindHRev:
-				swaps += execHSpanRev(cells, u, base, pairs)
-			case kindV1:
-				swaps += execVSpan1(cells, base, pairs, cols)
-			default:
-				swaps += execVSpanN(cells, base, sp.step, pairs, cols)
-			}
-		}
+		swaps := execPhaseSpans(cells, u, ph.spans, cur[ph.curOff:], win[w:w+2], p32, ns32, cols)
 		res.Swaps += int64(swaps)
 		res.Comparisons += ph.pairs
 		for p+s < n && cells[rankFlat[p]] == min32+int32(p) {

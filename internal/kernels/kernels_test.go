@@ -5,14 +5,15 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 )
 
 func TestRegistryShape(t *testing.T) {
-	if len(All()) != 5 {
-		t.Fatalf("registry has %d entries, want 5", len(All()))
+	if len(All()) != 6 {
+		t.Fatalf("registry has %d entries, want 6", len(All()))
 	}
 	for _, e := range All() {
 		if e.Name != core.KernelName(e.ID) {
@@ -35,6 +36,8 @@ func TestRegistryShape(t *testing.T) {
 	}{
 		{core.KernelSpan, Permutation, true},
 		{core.KernelSpan, ZeroOne, false},
+		{core.KernelSpanSharded, Permutation, true},
+		{core.KernelSpanSharded, ZeroOne, false},
 		{core.KernelThreshold, Permutation, true},
 		{core.KernelThreshold, ZeroOne, false},
 		{core.KernelSliced, ZeroOne, true},
@@ -49,8 +52,25 @@ func TestRegistryShape(t *testing.T) {
 		}
 	}
 	order := Eligible(Permutation)
-	if len(order) != 3 || order[0].ID != core.KernelSpan || order[2].ID != core.KernelThreshold {
+	if len(order) != 4 || order[0].ID != core.KernelSpanSharded || order[1].ID != core.KernelSpan || order[3].ID != core.KernelThreshold {
 		t.Fatalf("permutation eligibility order wrong: %+v", order)
+	}
+}
+
+// TestShardedGate pins the sharded span entry's selection contract: it
+// is gated, so the ungated Fallback never returns it, small meshes
+// always resolve to the serial span kernel, and a big mesh picks it
+// exactly when AutoShards finds a multi-shard split on this host.
+func TestShardedGate(t *testing.T) {
+	if k := FallbackFor(Key{Algorithm: "snake-a", Rows: 16, Cols: 16, Class: Permutation}); k != core.KernelSpan {
+		t.Fatalf("small-mesh fallback = %v, want span", k)
+	}
+	want := core.KernelSpan
+	if core.AutoShards(1024, 1024, runtime.NumCPU()) > 1 {
+		want = core.KernelSpanSharded
+	}
+	if k := FallbackFor(Key{Algorithm: "snake-a", Rows: 1024, Cols: 1024, Class: Permutation}); k != want {
+		t.Fatalf("big-mesh fallback = %v, want %v (NumCPU=%d)", k, want, runtime.NumCPU())
 	}
 }
 

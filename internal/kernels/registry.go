@@ -13,6 +13,8 @@
 package kernels
 
 import (
+	"runtime"
+
 	"repro/internal/core"
 )
 
@@ -60,20 +62,38 @@ type Entry struct {
 	Prior int
 	// Doc is a one-line description for help output and docs.
 	Doc string
+	// Gate, when non-nil, restricts *automatic* selection: the static
+	// fallback skips entries whose gate rejects the batch shape. Hints,
+	// the env override, and calibrated/probed choices ignore it — a
+	// pinned or measured decision is always honored. Gates exist for
+	// kernels whose win condition depends on the host (the sharded span
+	// executor needs a mesh big enough and cores idle enough to pay for
+	// its barrier), where a static prior alone would misfire.
+	Gate func(k Key) bool
 }
 
 // registry lists every executor family. Order is presentation order.
 var registry = []Entry{
+	{core.KernelSpanSharded, "span-sharded", []Class{Permutation}, 5,
+		"sharded span executor; cache-blocked row shards behind a phase barrier — for meshes that outgrow one core's cache", spanShardedGate},
 	{core.KernelSpan, "span", []Class{Permutation}, 10,
-		"compiled span programs; branchless strided sweeps over the mesh"},
+		"compiled span programs; branchless strided sweeps over the mesh", nil},
 	{core.KernelSliced, "sliced", []Class{ZeroOne}, 10,
-		"trial-sliced 0-1 kernel; 64 trials in lockstep, one bit lane each"},
+		"trial-sliced 0-1 kernel; 64 trials in lockstep, one bit lane each", nil},
 	{core.KernelPacked, "packed", []Class{ZeroOne}, 50,
-		"cell-packed 0-1 kernel; 64 cells of one trial per word"},
+		"cell-packed 0-1 kernel; 64 cells of one trial per word", nil},
 	{core.KernelGeneric, "generic", []Class{Permutation, ZeroOne}, 90,
-		"scalar cellwise engine; the reference every kernel is proven against"},
+		"scalar cellwise engine; the reference every kernel is proven against", nil},
 	{core.KernelThreshold, "threshold", []Class{Permutation}, 200,
-		"threshold-sliced permutation kernel via the 0-1 principle; exact but Θ(N/64)x the span work — the verification executor"},
+		"threshold-sliced permutation kernel via the 0-1 principle; exact but Θ(N/64)x the span work — the verification executor", nil},
+}
+
+// spanShardedGate admits the sharded span executor only when the mesh ×
+// host combination can actually win: AutoShards must find a multi-shard
+// split worth a barrier given the machine's core count. Everywhere else
+// the serial span kernel (prior 10) remains the static default.
+func spanShardedGate(k Key) bool {
+	return core.AutoShards(k.Rows, k.Cols, runtime.NumCPU()) > 1
 }
 
 // All returns every registered executor family.
@@ -120,12 +140,26 @@ func Supports(id core.Kernel, c Class) bool {
 	return false
 }
 
-// Fallback returns the class's static default: the eligible kernel with
-// the lowest Prior (span for permutations, sliced for 0-1 batches).
+// Fallback returns the class's ungated static default: the eligible
+// kernel with the lowest Prior whose selection does not depend on batch
+// shape (span for permutations, sliced for 0-1 batches).
 func Fallback(c Class) core.Kernel {
-	best := Eligible(c)
-	if len(best) == 0 {
-		return core.KernelGeneric
+	for _, e := range Eligible(c) {
+		if e.Gate == nil {
+			return e.ID
+		}
 	}
-	return best[0].ID
+	return core.KernelGeneric
+}
+
+// FallbackFor returns the static default for one concrete batch: the
+// eligible kernel with the lowest Prior whose Gate (if any) admits the
+// batch shape on this host.
+func FallbackFor(key Key) core.Kernel {
+	for _, e := range Eligible(key.Class) {
+		if e.Gate == nil || e.Gate(key) {
+			return e.ID
+		}
+	}
+	return core.KernelGeneric
 }

@@ -177,7 +177,7 @@ func (tu *Tuner) Resolve(hint core.Kernel, key Key, probe Probe) core.Kernel {
 			return k
 		}
 	}
-	return Fallback(key.Class)
+	return FallbackFor(key)
 }
 
 // Calibrate times every kernel eligible for key's class with probe,

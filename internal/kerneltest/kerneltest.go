@@ -52,10 +52,13 @@ type Executor struct {
 }
 
 // Executors returns every per-grid executor of the repository: the
-// engine's sequential, pooled, generic, and span paths plus the 0-1
-// cell-packed kernel and the threshold-sliced permutation kernel. The
-// trial-sliced lockstep kernel runs batches, not single grids; Compare
-// adds it by packing all eligible cases of a call into shared slices.
+// engine's sequential, pooled, generic, span, and sharded-span paths
+// plus the 0-1 cell-packed kernel and the threshold-sliced permutation
+// kernel. The sharded span executor appears twice (2 and 3 shards) so
+// the matrix covers both even and uneven row splits; shapes with fewer
+// rows than shards exercise its clamp-to-serial path. The trial-sliced
+// lockstep kernel runs batches, not single grids; Compare adds it by
+// packing all eligible cases of a call into shared slices.
 func Executors() []Executor {
 	engineOpts := func(opts engine.Options) func(*grid.Grid, string, int) (engine.Result, error) {
 		return func(g *grid.Grid, algName string, maxSteps int) (engine.Result, error) {
@@ -79,6 +82,8 @@ func Executors() []Executor {
 		{Name: "worker-pool", Run: engineOpts(engine.Options{Workers: 4})},
 		{Name: "generic-kernel", Run: engineOpts(engine.Options{Kernel: engine.KernelGeneric})},
 		{Name: "span-kernel", Run: engineOpts(engine.Options{Kernel: engine.KernelSpan})},
+		{Name: "span-sharded-2", Run: engineOpts(engine.Options{Kernel: engine.KernelSpanSharded, Shards: 2})},
+		{Name: "span-sharded-3", Run: engineOpts(engine.Options{Kernel: engine.KernelSpanSharded, Shards: 3})},
 		{Name: "bit-packed", Needs: ZeroOneInput, Run: func(g *grid.Grid, algName string, maxSteps int) (engine.Result, error) {
 			ps, err := zeroone.CachedPacked(algName, g.Rows(), g.Cols())
 			if err != nil {

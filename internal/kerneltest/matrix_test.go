@@ -84,6 +84,14 @@ func TestBatchKernelMatrix(t *testing.T) {
 	if b := kerneltest.CompareBatches(t, spec, []int{1, 3, 8}); b == nil {
 		t.Fatal("permutation batch failed")
 	}
+	// Pin explicit shards: the sharded executor really engages (the auto
+	// split would fall back to serial span on a small host) and the batch
+	// stays byte-identical across every kernel × worker combination.
+	spec.Shards = 2
+	if b := kerneltest.CompareBatches(t, spec, []int{1, 3, 8}); b == nil {
+		t.Fatal("explicitly sharded permutation batch failed")
+	}
+	spec.Shards = 0
 	spec.ZeroOne = true
 	if b := kerneltest.CompareBatches(t, spec, []int{1, 3, 8}); b == nil {
 		t.Fatal("zeroone batch failed")

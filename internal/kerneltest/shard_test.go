@@ -1,0 +1,114 @@
+package kerneltest_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/mcbatch"
+	"repro/internal/rng"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// runShardPair runs one input under the serial span kernel and under the
+// sharded executor at several shard counts, requiring identical Results,
+// errors, and final grids. It is the large-side differential: the full
+// Compare matrix would drag the reference executor (full rescan per
+// step) through meshes where it costs minutes, so here the serial span
+// kernel — itself proven against the reference on the Compare shapes —
+// serves as the baseline.
+func runShardPair(t *testing.T, alg string, rows, cols, maxSteps int, shardCounts []int) {
+	t.Helper()
+	s, err := sched.Cached(alg, rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.NewStream(0xB16, uint64(rows)<<16|uint64(maxSteps))
+	input := workload.RandomPermutation(src, rows, cols)
+	ref := input.Clone()
+	want, wantErr := engine.Run(ref, s, engine.Options{Kernel: engine.KernelSpan, MaxSteps: maxSteps})
+	for _, shards := range shardCounts {
+		got := input.Clone()
+		res, err := engine.Run(got, s, engine.Options{
+			Kernel: engine.KernelSpanSharded, Shards: shards, MaxSteps: maxSteps,
+		})
+		label := alg
+		if res != want {
+			t.Fatalf("%s %dx%d shards=%d cap=%d: result %+v, want %+v", label, rows, cols, shards, maxSteps, res, want)
+		}
+		if msg := diffErr(wantErr, err); msg != "" {
+			t.Fatalf("%s %dx%d shards=%d cap=%d: %s", label, rows, cols, shards, maxSteps, msg)
+		}
+		if !got.Equal(ref) {
+			t.Fatalf("%s %dx%d shards=%d cap=%d: final grids differ", label, rows, cols, shards, maxSteps)
+		}
+	}
+}
+
+func diffErr(want, got error) string {
+	if (want == nil) != (got == nil) {
+		return "error mismatch"
+	}
+	if want != nil && want.Error() != got.Error() {
+		return "errors differ: " + want.Error() + " vs " + got.Error()
+	}
+	return ""
+}
+
+// TestShardedLargeOddSides covers the shard-boundary arithmetic on sides
+// the small matrix cannot reach: large, odd, non-power-of-two meshes
+// where the row split is uneven (129 = 4·32+1, 257 = 8·32+1) and every
+// shard boundary cuts through vertical spans. Side 129 runs to
+// completion; side 257 is step-capped with caps landing mid-phase, which
+// exercises the settled-window trim and the sentinel-row handling at the
+// boundary without paying for a full sort.
+func TestShardedLargeOddSides(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large meshes: skipped under -short")
+	}
+	runShardPair(t, "snake-a", 129, 129, 0, []int{2, 3, 4, 8})
+	s, err := sched.Cached("shearsort", 257, 257)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []int{1, s.Period() + 1, 2*s.Period() + 3} {
+		runShardPair(t, "shearsort", 257, 257, cap, []int{2, 3, 8})
+	}
+	runShardPair(t, "snake-b", 257, 129, 1+257%5, []int{3, 5})
+}
+
+// TestShardedBatchContention is the race detector's target: sharded
+// trials running on concurrent batch workers, so intra-trial shard
+// goroutines from different trials overlap. Results must still match a
+// serial one-worker span batch exactly.
+func TestShardedBatchContention(t *testing.T) {
+	spec := mcbatch.Spec{
+		Algorithm: core.SnakeA, Rows: 20, Cols: 20, Trials: 12, Seed: 17,
+		Kernel: core.KernelSpan, Workers: 1,
+	}
+	ref, err := mcbatch.RunCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		for _, shards := range []int{2, 3} {
+			spec.Kernel = core.KernelSpanSharded
+			spec.Workers = workers
+			spec.Shards = shards
+			b, err := mcbatch.RunCtx(context.Background(), spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Kernel != core.KernelSpanSharded || b.Shards != shards {
+				t.Fatalf("workers=%d shards=%d: batch ran kernel=%s shards=%d, want pinned span-sharded",
+					workers, shards, core.KernelName(b.Kernel), b.Shards)
+			}
+			if !reflect.DeepEqual(b.Trials, ref.Trials) || b.Steps != ref.Steps {
+				t.Fatalf("workers=%d shards=%d: sharded batch diverged from serial span batch", workers, shards)
+			}
+		}
+	}
+}

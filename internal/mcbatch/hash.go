@@ -40,9 +40,10 @@ const hashVersion = "mcbatch/spec/v1\x00"
 //     values a Run can observe), so a nil Stream and an override that
 //     reproduces DefaultStream hash the same, while any override that
 //     deviates on some trial index < Trials hashes differently.
-//   - Workers and Kernel are excluded: the determinism contract (pinned by
-//     the mcbatch and engine differential suites) makes results
-//     bit-identical under every worker count and executor family.
+//   - Workers, Kernel, and Shards are excluded: the determinism contract
+//     (pinned by the mcbatch and engine differential suites) makes results
+//     bit-identical under every worker count, executor family, and
+//     intra-trial shard count.
 //
 // A Spec with a custom Gen returns an error wrapping ErrNotHashable: an
 // arbitrary generator function cannot be canonically encoded, so such

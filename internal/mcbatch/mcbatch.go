@@ -64,7 +64,8 @@ import (
 func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	return mapWorkers(ctx, workers, n,
 		func() struct{} { return struct{}{} },
-		func(_ struct{}, i int) (T, error) { return fn(i) })
+		func(_ struct{}, i int) (T, error) { return fn(i) },
+		nil)
 }
 
 // mapWorkers is MapCtx plus per-worker scratch state: every goroutine of
@@ -73,7 +74,10 @@ func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error
 // never shared between concurrent calls. Determinism is untouched — which
 // worker (and thus which scratch) serves an index may vary, so fn must
 // treat the scratch as reusable storage only, never as carried state.
-func mapWorkers[S, T any](ctx context.Context, workers, n int, newState func() S, fn func(state S, i int) (T, error)) ([]T, error) {
+// cleanup, if non-nil, runs on each worker's scratch before the worker
+// exits — the release hook for scratch that owns resources (the sharded
+// span kernel's goroutine pool).
+func mapWorkers[S, T any](ctx context.Context, workers, n int, newState func() S, fn func(state S, i int) (T, error), cleanup func(S)) ([]T, error) {
 	out := make([]T, n)
 	if n == 0 {
 		return out, ctx.Err()
@@ -92,6 +96,9 @@ func mapWorkers[S, T any](ctx context.Context, workers, n int, newState func() S
 		go func() {
 			defer wg.Done()
 			state := newState()
+			if cleanup != nil {
+				defer cleanup(state)
+			}
 			for ctx.Err() == nil {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -151,6 +158,14 @@ type Spec struct {
 	// a hint from the other class is treated as Auto, so the option is
 	// never an error.
 	Kernel core.Kernel
+	// Shards is the intra-trial row-shard count for the sharded span
+	// executor; it matters only when that kernel runs. 0 resolves
+	// automatically under the two-level budget (see splitParallelism):
+	// trial workers × shards ≤ GOMAXPROCS. An explicit positive value
+	// pins the count (like Kernel, a pinned hint is honored exactly).
+	// Another execution hint that can never change results — it is
+	// excluded from Spec.Hash like Workers and Kernel.
+	Shards int
 }
 
 // DefaultStream is the harness's seeding scheme for square-mesh step
@@ -178,6 +193,15 @@ type Batch struct {
 	// per fixed 64-trial slice, merged in slice order (deterministic under
 	// any worker count and kernel family).
 	Steps stats.Welford
+	// Kernel records the executor family the batch actually ran with —
+	// the resolved hint, after registry/tuner selection and any
+	// downgrade (a sharded request that resolves to one shard runs the
+	// serial span kernel and reports it). Execution metadata for
+	// observability; never part of a result payload.
+	Kernel core.Kernel
+	// Shards records the effective intra-trial shard count (1 for every
+	// unsharded executor). Execution metadata like Kernel.
+	Shards int
 }
 
 // StepCounts returns the per-trial step counts in trial order.
@@ -236,6 +260,18 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 
 	class := kernels.ClassOf(spec.ZeroOne)
 	kern := resolveKernel(ctx, spec, seed, stream, makeInput)
+	shards := 1
+	if kern == core.KernelSpanSharded {
+		// Resolve the two-level budget once, here, so the effective split
+		// is recorded on the Batch; a request that resolves to a single
+		// shard downgrades to the serial span kernel (identical results,
+		// honest reporting).
+		if _, s := splitParallelism(spec); s > 1 {
+			shards = s
+		} else {
+			kern = core.KernelSpan
+		}
+	}
 	run, ok := runners[class][kern]
 	if !ok {
 		// Unreachable while the runner table covers the registry; kept so
@@ -247,9 +283,38 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &Batch{Trials: trials}
+	b := &Batch{Trials: trials, Kernel: kern, Shards: shards}
 	b.Steps = aggregateSteps(trials)
 	return b, nil
+}
+
+// splitParallelism resolves the two-level parallelism budget of a batch:
+// trial workers (outer level) × row shards per trial (inner level) ≤
+// GOMAXPROCS. Across-trial parallelism claims procs first — it scales
+// without any barrier cost — so auto-sharding only takes the procs the
+// trial pool leaves idle, which happens exactly in the big-mesh,
+// few-trials regime the sharded kernel exists for. An explicit
+// Spec.Shards pins the inner level like a kernel hint (the engine still
+// clamps it to the row count). No split can change results: every
+// (workers, shards) pair is proven bit-identical by the differential
+// suites, so the budget is pure scheduling policy.
+func splitParallelism(spec Spec) (workers, shards int) {
+	procs := runtime.GOMAXPROCS(0)
+	workers = spec.Workers
+	if workers <= 0 {
+		workers = procs
+	}
+	if spec.Trials > 0 && workers > spec.Trials {
+		workers = spec.Trials
+	}
+	if shards = spec.Shards; shards > 0 {
+		return workers, shards
+	}
+	budget := procs / workers
+	if budget < 1 {
+		budget = 1
+	}
+	return workers, engine.AutoShards(spec.Rows, spec.Cols, budget)
 }
 
 // runner executes a batch with one fixed executor family.
@@ -262,9 +327,10 @@ type runner func(ctx context.Context, spec Spec, seed uint64, stream func(int) u
 // this table only says how each choice runs.
 var runners = map[kernels.Class]map[core.Kernel]runner{
 	kernels.Permutation: {
-		core.KernelSpan:      runEngine(core.KernelSpan),
-		core.KernelGeneric:   runEngine(core.KernelGeneric),
-		core.KernelThreshold: runThreshold,
+		core.KernelSpan:        runEngine(core.KernelSpan),
+		core.KernelSpanSharded: runSpanSharded,
+		core.KernelGeneric:     runEngine(core.KernelGeneric),
+		core.KernelThreshold:   runThreshold,
 	},
 	kernels.ZeroOne: {
 		core.KernelSliced:  runSliced,
@@ -317,6 +383,55 @@ func runEngine(kern core.Kernel) runner {
 				return core.Sort(g, spec.Algorithm, core.Options{MaxSteps: spec.MaxSteps, Kernel: kern})
 			})
 	}
+}
+
+// shardScratch is one trial worker's reusable state for the sharded
+// span kernel: the persistent shard pool (workers + arenas, reused
+// across every trial the worker claims) and the input buffer.
+type shardScratch struct {
+	pool *engine.ShardPool
+	buf  *grid.Grid
+}
+
+// runSpanSharded executes a permutation batch through the sharded span
+// executor. Each trial worker owns one persistent ShardPool sized by the
+// two-level budget, so steady-state trials are allocation-free; the pool
+// is closed when the worker exits. Results are bit-identical to every
+// other permutation runner for any (workers, shards) split.
+func runSpanSharded(ctx context.Context, spec Spec, seed uint64, stream func(int) uint64,
+	makeInput func(rng.Source, *grid.Grid, int) (*grid.Grid, error)) ([]Trial, error) {
+	workers, shards := splitParallelism(spec)
+	if shards <= 1 {
+		return runEngine(core.KernelSpan)(ctx, spec, seed, stream, makeInput)
+	}
+	// Warm the shared compiled-schedule cache before the pool starts.
+	spec.Algorithm.Schedule(spec.Rows, spec.Cols)
+	name := spec.Algorithm.ShortName()
+	return mapWorkers(ctx, workers, spec.Trials,
+		func() *shardScratch {
+			return &shardScratch{
+				pool: engine.NewShardPool(shards),
+				buf:  grid.New(spec.Rows, spec.Cols),
+			}
+		},
+		func(st *shardScratch, i int) (Trial, error) {
+			src := rng.NewStream(seed, stream(i))
+			g, err := makeInput(src, st.buf, i)
+			if err != nil {
+				return Trial{}, err
+			}
+			res, err := core.Sort(g, spec.Algorithm, core.Options{
+				MaxSteps:  spec.MaxSteps,
+				Kernel:    core.KernelSpanSharded,
+				Shards:    shards,
+				ShardPool: st.pool,
+			})
+			if err != nil {
+				return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
+			}
+			return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
+		},
+		func(st *shardScratch) { st.pool.Close() })
 }
 
 // runPacked adapts the cell-packed 0-1 kernel as a per-trial runner.
@@ -375,7 +490,8 @@ func runThreshold(ctx context.Context, spec Spec, seed uint64, stream func(int) 
 				return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
 			}
 			return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
-		})
+		},
+		nil)
 }
 
 // runPerTrial executes one trial per grid through sort, with a per-worker
@@ -397,7 +513,8 @@ func runPerTrial(ctx context.Context, spec Spec, seed uint64, stream func(int) u
 				return Trial{}, fmt.Errorf("%s %dx%d trial %d: %w", name, spec.Rows, spec.Cols, i, err)
 			}
 			return Trial{Steps: res.Steps, Swaps: res.Swaps, Comparisons: res.Comparisons}, nil
-		})
+		},
+		nil)
 }
 
 // slicedScratch is one worker's reusable state for the trial-sliced
@@ -452,7 +569,8 @@ func runSliced(ctx context.Context, spec Spec, seed uint64, stream func(int) uin
 				out[k] = Trial{Steps: results[k].Steps, Swaps: results[k].Swaps, Comparisons: results[k].Comparisons}
 			}
 			return out, nil
-		})
+		},
+		nil)
 	if err != nil {
 		return nil, err
 	}

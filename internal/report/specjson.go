@@ -23,11 +23,12 @@ type SpecJSON struct {
 	Seed      uint64 `json:"seed"`
 	MaxSteps  int    `json:"max_steps,omitempty"`
 	ZeroOne   bool   `json:"zeroone,omitempty"`
-	// Kernel and Workers are execution hints: they cannot change results
-	// (the determinism contract) and are excluded from the cache key, but
-	// bench records keep them because they explain the timings.
+	// Kernel, Workers, and Shards are execution hints: they cannot change
+	// results (the determinism contract) and are excluded from the cache
+	// key, but bench records keep them because they explain the timings.
 	Kernel  string `json:"kernel,omitempty"`
 	Workers int    `json:"workers,omitempty"`
+	Shards  int    `json:"shards,omitempty"`
 }
 
 // SpecOf encodes s. Defaulted fields are passed through untouched (a
@@ -45,12 +46,13 @@ func SpecOf(s mcbatch.Spec) SpecJSON {
 		ZeroOne:   s.ZeroOne,
 		Kernel:    core.KernelName(s.Kernel),
 		Workers:   s.Workers,
+		Shards:    s.Shards,
 	}
 }
 
 // CanonicalSpecOf encodes s with every defaulted field resolved (Seed,
-// MaxSteps) and the result-neutral execution hints (Kernel, Workers)
-// cleared, mirroring the mcbatch.Spec.Hash cache-key contract: two Specs
+// MaxSteps) and the result-neutral execution hints (Kernel, Workers,
+// Shards) cleared, mirroring the mcbatch.Spec.Hash cache-key contract: two Specs
 // with equal hashes encode to the identical CanonicalSpecOf value, so a
 // content-addressed payload embedding it stays byte-identical no matter
 // which submission populated the cache.

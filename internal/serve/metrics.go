@@ -23,6 +23,32 @@ type metrics struct {
 	cacheMisses   atomic.Int64 // submissions that had to execute
 	running       atomic.Int64 // jobs currently executing
 	trialNs       nsHistogram  // ns per trial of completed jobs
+	jobsByKernel  kernelCounters
+}
+
+// kernelLabels is the fixed render order of the by-kernel job counter:
+// every concrete kernel family the batch runner can report, in registry
+// order. A fixed array (not a map) keeps the scrape deterministic and
+// the observe path lock-free.
+var kernelLabels = [...]string{
+	"span-sharded", "span", "sliced", "packed", "generic", "threshold",
+}
+
+// kernelCounters counts completed jobs by effective kernel; the extra
+// slot collects names outside kernelLabels (a registry drift guard, not
+// an expected path).
+type kernelCounters struct {
+	counts [len(kernelLabels) + 1]atomic.Int64
+}
+
+func (k *kernelCounters) observe(name string) {
+	for i, l := range kernelLabels {
+		if l == name {
+			k.counts[i].Add(1)
+			return
+		}
+	}
+	k.counts[len(kernelLabels)].Add(1)
 }
 
 // trialNsBuckets are the upper bounds (inclusive, in nanoseconds) of the
@@ -78,6 +104,14 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, cacheLen, cacheCa
 	fmt.Fprintf(w, "meshsortd_jobs_completed_total{status=\"ok\"} %d\n", m.jobsOK.Load())
 	fmt.Fprintf(w, "meshsortd_jobs_completed_total{status=\"error\"} %d\n", m.jobsFailed.Load())
 	fmt.Fprintf(w, "meshsortd_jobs_completed_total{status=\"canceled\"} %d\n", m.jobsCanceled.Load())
+
+	fmt.Fprintf(w, "# HELP meshsortd_jobs_by_kernel_total Successfully executed jobs by effective kernel.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_jobs_by_kernel_total counter\n")
+	for i, label := range kernelLabels {
+		fmt.Fprintf(w, "meshsortd_jobs_by_kernel_total{kernel=%q} %d\n", label, m.jobsByKernel.counts[i].Load())
+	}
+	fmt.Fprintf(w, "meshsortd_jobs_by_kernel_total{kernel=\"other\"} %d\n",
+		m.jobsByKernel.counts[len(kernelLabels)].Load())
 
 	counter("meshsortd_cache_hits_total",
 		"Submissions answered from the content-addressed result cache.",

@@ -207,15 +207,19 @@ func (s *Server) runJob(job *Job) {
 		job.fail(err.Error())
 		return
 	}
+	kernelName := core.KernelName(b.Kernel)
+	job.setExecution(kernelName, b.Shards)
 	s.cache.put(job.Key, payload)
 	s.metrics.jobsOK.Add(1)
+	s.metrics.jobsByKernel.observe(kernelName)
 	nsPerTrial := elapsed / int64(job.spec.Trials)
 	s.metrics.trialNs.observe(nsPerTrial)
 	s.log.Info("job done",
 		"id", job.ID, "key", job.Key.String(),
 		"algorithm", job.spec.Algorithm.ShortName(),
 		"mesh", fmt.Sprintf("%dx%d", job.spec.Rows, job.spec.Cols),
-		"trials", job.spec.Trials, "ns_per_trial", nsPerTrial)
+		"trials", job.spec.Trials, "kernel", kernelName,
+		"shards", b.Shards, "ns_per_trial", nsPerTrial)
 	job.complete(payload)
 }
 
@@ -467,11 +471,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// statusResponse is the body of GET /v1/jobs/{id}.
+// statusResponse is the body of GET /v1/jobs/{id}. Kernel and Shards
+// report the effective execution choice — what actually ran after
+// auto-resolution and the parallelism split — and stay empty until the
+// job has executed (cache-hit jobs never execute, so they report none).
 type statusResponse struct {
 	ID     string `json:"id"`
 	Key    string `json:"key"`
 	Status string `json:"status"`
+	Kernel string `json:"kernel,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 	Error  string `json:"error,omitempty"`
 }
 
@@ -490,8 +499,10 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		cancel()
 	}
 	state, errMsg, _ := job.Snapshot()
+	kernel, shards := job.execution()
 	writeJSON(w, http.StatusOK, statusResponse{
-		ID: job.ID, Key: job.Key.String(), Status: state.String(), Error: errMsg,
+		ID: job.ID, Key: job.Key.String(), Status: state.String(),
+		Kernel: kernel, Shards: shards, Error: errMsg,
 	})
 }
 

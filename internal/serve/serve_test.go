@@ -518,7 +518,7 @@ func TestPermutationKernelSharesCacheEntry(t *testing.T) {
 	if got := respSpan.Header.Get("X-Meshsort-Cache"); got != "miss" {
 		t.Fatalf("first kernel cache header: %q, want miss", got)
 	}
-	for _, kernel := range []string{"generic", "threshold", "auto", "sliced", ""} {
+	for _, kernel := range []string{"generic", "threshold", "span-sharded", "auto", "sliced", ""} {
 		resp, buf := postJSON(t, ts.URL+"/v1/sort", body(kernel))
 		if resp.StatusCode != http.StatusOK {
 			t.Fatalf("kernel %q sort: %d %s", kernel, resp.StatusCode, buf)
@@ -529,5 +529,60 @@ func TestPermutationKernelSharesCacheEntry(t *testing.T) {
 		if !bytes.Equal(buf, bufSpan) {
 			t.Fatalf("kernel %q payload differs from span:\n%s\nvs\n%s", kernel, buf, bufSpan)
 		}
+	}
+}
+
+// TestShardedJobExecutionReporting pins the shards hint's surface: the
+// job status reports the effective kernel and shard count after
+// execution, /metrics counts the job under its kernel label, the shard
+// count never enters the cache key (a job differing only in shards is a
+// cache hit with a byte-identical payload), and a negative shards value
+// fails at submit time.
+func TestShardedJobExecutionReporting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := func(shards int) string {
+		return fmt.Sprintf(`{"algorithm":"snake-a","side":10,"trials":20,"seed":5,"kernel":"span-sharded","shards":%d}`, shards)
+	}
+
+	countBefore := metricValue(t, ts.URL, `meshsortd_jobs_by_kernel_total{kernel="span-sharded"}`)
+	resp, buf := postJSON(t, ts.URL+"/v1/jobs", body(2))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, buf)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(buf, &sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, buf = getBody(t, ts.URL+"/v1/jobs/"+sub.ID+"?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d %s", resp.StatusCode, buf)
+	}
+	var st statusResponse
+	if err := json.Unmarshal(buf, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "done" {
+		t.Fatalf("job state %q (%s)", st.Status, st.Error)
+	}
+	if st.Kernel != "span-sharded" || st.Shards != 2 {
+		t.Fatalf("status reports kernel=%q shards=%d, want span-sharded/2", st.Kernel, st.Shards)
+	}
+	if countAfter := metricValue(t, ts.URL, `meshsortd_jobs_by_kernel_total{kernel="span-sharded"}`); countAfter != countBefore+1 {
+		t.Fatalf("jobs_by_kernel{span-sharded}: %v -> %v, want +1", countBefore, countAfter)
+	}
+
+	// Same spec with a different shard count: pure execution hint, so the
+	// result cache must already hold the payload.
+	resp, buf = postJSON(t, ts.URL+"/v1/sort", body(3))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded resubmit: %d %s", resp.StatusCode, buf)
+	}
+	if got := resp.Header.Get("X-Meshsort-Cache"); got != "hit" {
+		t.Fatalf("shards=3 cache header: %q, want hit (shards must not enter the key)", got)
+	}
+
+	resp, buf = postJSON(t, ts.URL+"/v1/jobs", body(-1))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative shards: %d %s, want 400", resp.StatusCode, buf)
 	}
 }

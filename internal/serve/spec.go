@@ -13,7 +13,11 @@ import (
 // means auto, and zeroone runs the batch on the paper's half-0/half-1
 // workload instead of random permutations, through the trial-sliced 0-1
 // kernel (64 trials in lockstep per word) unless kernel pins another
-// family — the choice cannot change results or the cache key.
+// family — the choice cannot change results or the cache key. Shards
+// pins the intra-trial row-shard count of the sharded span executor
+// (0 = auto under the daemon's parallelism budget); like kernel and the
+// worker count it is a pure execution hint, and the effective choice is
+// reported in the job status and /metrics.
 type JobRequest struct {
 	Algorithm string `json:"algorithm"`
 	Side      int    `json:"side,omitempty"`
@@ -23,6 +27,7 @@ type JobRequest struct {
 	Seed      uint64 `json:"seed,omitempty"`
 	MaxSteps  int    `json:"max_steps,omitempty"`
 	Kernel    string `json:"kernel,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
 	ZeroOne   bool   `json:"zeroone,omitempty"`
 }
 
@@ -54,9 +59,10 @@ func (l Limits) withDefaults() Limits {
 // Spec. The returned Spec carries no functional fields (Stream, Gen are
 // nil) and no execution hints (Workers, Kernel are chosen by the daemon at
 // run time), so it is exactly the content-addressable form that
-// mcbatch.Spec.Hash keys the result cache with — except Kernel, which is
-// parsed here so a bad name fails at submit time, and recorded in the Spec
-// for the executor even though the hash ignores it.
+// mcbatch.Spec.Hash keys the result cache with — except Kernel and
+// Shards, which are validated here so a bad value fails at submit time,
+// and recorded in the Spec for the executor even though the hash ignores
+// them.
 func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
 	lim = lim.withDefaults()
 	alg, err := core.ByName(r.Algorithm)
@@ -89,6 +95,9 @@ func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
 	if r.MaxSteps < 0 {
 		return mcbatch.Spec{}, fmt.Errorf("max_steps must be >= 0 (got %d)", r.MaxSteps)
 	}
+	if r.Shards < 0 {
+		return mcbatch.Spec{}, fmt.Errorf("shards must be >= 0 (got %d)", r.Shards)
+	}
 	return mcbatch.Spec{
 		Algorithm: alg,
 		Rows:      rows,
@@ -98,5 +107,6 @@ func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
 		MaxSteps:  r.MaxSteps,
 		ZeroOne:   r.ZeroOne,
 		Kernel:    kernel,
+		Shards:    r.Shards,
 	}, nil
 }
