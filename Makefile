@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold bench-bigside experiments experiments-quick lemmas fmt vet cover lint meshlint vet-perf serve-smoke
+.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold bench-bigside experiments experiments-quick lemmas fmt vet cover lint meshlint vet-perf serve-smoke store-smoke
 
 all: build vet test
 
@@ -88,6 +88,13 @@ vet-perf:
 # drains without dropping a queued job's result.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# store-smoke is the crash-resume gate: SIGKILL meshsortd mid-campaign
+# (race-detector build), restart over the same store directory, and assert
+# the resumed campaign runs only the missing cells and exports
+# byte-identically to an uninterrupted run.
+store-smoke:
+	sh scripts/store_smoke.sh
 
 # lint is the full static gate CI runs: formatting, go vet, meshlint,
 # and — when the tools are installed — staticcheck and govulncheck.

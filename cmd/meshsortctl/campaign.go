@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// cmdCampaign dispatches the campaign subcommands:
+//
+//	meshsortctl campaign submit -spec grid.json [-await] [-timeout 10m]
+//	meshsortctl campaign status -id c-... [-wait] [-timeout 10m]
+//	meshsortctl campaign export -id c-... [-format json|csv] [-out FILE]
+//
+// submit posts the grid spec file verbatim (the daemon rejects unknown
+// fields); resubmitting the same grid attaches to the live campaign or —
+// after a daemon restart over the same store — resumes it, skipping every
+// cell already on disk.
+func cmdCampaign(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: meshsortctl campaign <submit|status|export> [flags]")
+		return exitUsage
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "submit":
+		return cmdCampaignSubmit(rest, stdout, stderr)
+	case "status":
+		return cmdCampaignStatus(rest, stdout, stderr)
+	case "export":
+		return cmdCampaignExport(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "meshsortctl campaign: unknown command %q\n", cmd)
+		return exitUsage
+	}
+}
+
+// doRaw posts body bytes as-is, preserving the file's exact JSON for the
+// daemon's strict decoder.
+func doRaw(addr, path string, body []byte) (*http.Response, []byte, error) {
+	resp, err := httpClient().Post("http://"+addr+path, "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp, out, err
+}
+
+func cmdCampaignSubmit(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("campaign submit", stderr)
+	specPath := fs.String("spec", "", "campaign grid spec JSON file (\"-\" reads stdin)")
+	await := fs.Bool("await", false, "block until the campaign reaches a terminal state")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up awaiting after this long")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *specPath == "" {
+		fmt.Fprintln(stderr, "meshsortctl campaign submit: -spec is required")
+		return exitUsage
+	}
+	var spec []byte
+	var err error
+	if *specPath == "-" {
+		spec, err = io.ReadAll(os.Stdin)
+	} else {
+		spec, err = os.ReadFile(*specPath)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "meshsortctl:", err)
+		return exitErr
+	}
+	resp, body, err := doRaw(*addr, "/v1/campaigns", spec)
+	if err != nil {
+		fmt.Fprintln(stderr, "meshsortctl:", err)
+		return exitErr
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return fail(stderr, resp, body)
+	}
+	_, _ = stdout.Write(body)
+	if !*await {
+		return exitOK
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		fmt.Fprintln(stderr, "meshsortctl: submit response had no campaign id")
+		return exitErr
+	}
+	return awaitCampaign(*addr, sub.ID, *timeout, stdout, stderr)
+}
+
+func cmdCampaignStatus(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("campaign status", stderr)
+	id := fs.String("id", "", "campaign id (c-...)")
+	wait := fs.Bool("wait", false, "block until the campaign reaches a terminal state")
+	timeout := fs.Duration("timeout", 10*time.Minute, "give up waiting after this long")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *id == "" {
+		fmt.Fprintln(stderr, "meshsortctl campaign status: -id is required")
+		return exitUsage
+	}
+	if *wait {
+		return awaitCampaign(*addr, *id, *timeout, stdout, stderr)
+	}
+	resp, body, err := get(*addr, "/v1/campaigns/"+*id)
+	if err != nil {
+		fmt.Fprintln(stderr, "meshsortctl:", err)
+		return exitErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail(stderr, resp, body)
+	}
+	_, _ = stdout.Write(body)
+	return exitOK
+}
+
+// awaitCampaign long-polls the status endpoint until the campaign leaves
+// the running state, then prints the final status. A failed or
+// interrupted campaign exits non-zero (its completed cells are durable;
+// resubmit to resume).
+func awaitCampaign(addr, id string, timeout time.Duration, stdout, stderr io.Writer) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, body, err := get(addr, "/v1/campaigns/"+id+"?wait=1")
+		if err != nil {
+			fmt.Fprintln(stderr, "meshsortctl:", err)
+			return exitErr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fail(stderr, resp, body)
+		}
+		var st struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			fmt.Fprintln(stderr, "meshsortctl:", err)
+			return exitErr
+		}
+		switch st.Status {
+		case "done":
+			_, _ = stdout.Write(body)
+			return exitOK
+		case "failed", "interrupted":
+			_, _ = stdout.Write(body)
+			fmt.Fprintf(stderr, "meshsortctl: campaign %s %s: %s\n", id, st.Status, st.Error)
+			return exitErr
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(stderr, "meshsortctl: campaign %s still %s after %s\n", id, st.Status, timeout)
+			return exitErr
+		}
+	}
+}
+
+func cmdCampaignExport(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("campaign export", stderr)
+	id := fs.String("id", "", "campaign id (c-...)")
+	format := fs.String("format", "json", "export format: json or csv")
+	out := fs.String("out", "", "write the export to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *id == "" {
+		fmt.Fprintln(stderr, "meshsortctl campaign export: -id is required")
+		return exitUsage
+	}
+	resp, body, err := get(*addr, "/v1/campaigns/"+*id+"/export?format="+*format)
+	if err != nil {
+		fmt.Fprintln(stderr, "meshsortctl:", err)
+		return exitErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail(stderr, resp, body)
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			fmt.Fprintln(stderr, "meshsortctl:", err)
+			return exitErr
+		}
+		fmt.Fprintf(stdout, "wrote %d bytes to %s\n", len(body), *out)
+		return exitOK
+	}
+	_, _ = stdout.Write(body)
+	return exitOK
+}

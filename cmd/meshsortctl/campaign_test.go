@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// newStoredDaemon boots an in-process daemon over a durable store so
+// campaign subcommands have something to talk to.
+func newStoredDaemon(t *testing.T) string {
+	t.Helper()
+	st, err := store.OpenOptions(t.TempDir(), store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.NewServer(serve.Config{
+		Store:  st,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+		st.Close()
+	})
+	return strings.TrimPrefix(ts.URL, "http://")
+}
+
+func writeSpecFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.json")
+	spec := `{"name":"ctl-test","algorithms":["snake-a"],"sides":[4,6],"trials":[6],"workloads":["perm"],"seed":5}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCampaignSubmitStatusExport(t *testing.T) {
+	addr := newStoredDaemon(t)
+	specPath := writeSpecFile(t)
+
+	var out, errb bytes.Buffer
+	code := run([]string{"campaign", "submit", "-addr", addr, "-spec", specPath, "-await", "-timeout", "60s"}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("campaign submit exit = %d, stderr: %s", code, errb.String())
+	}
+	// -await prints the submit body then the terminal status body.
+	if !strings.Contains(out.String(), `"status": "done"`) {
+		t.Fatalf("awaited submit output:\n%s", out.String())
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()))
+	if err := dec.Decode(&sub); err != nil || !strings.HasPrefix(sub.ID, "c-") {
+		t.Fatalf("submit output has no campaign id: %s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"campaign", "status", "-addr", addr, "-id", sub.ID}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("campaign status exit = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"executed": 2`) {
+		t.Fatalf("status output:\n%s", out.String())
+	}
+
+	// Resubmit: the content-addressed ID dedups onto the finished campaign.
+	out.Reset()
+	code = run([]string{"campaign", "submit", "-addr", addr, "-spec", specPath}, &out, &errb)
+	if code != exitOK || !strings.Contains(out.String(), `"deduped": true`) {
+		t.Fatalf("resubmit exit = %d, output:\n%s", code, out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"campaign", "export", "-addr", addr, "-id", sub.ID}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("campaign export exit = %d, stderr: %s", code, errb.String())
+	}
+	var export struct {
+		ID    string `json:"id"`
+		Cells []struct {
+			Algorithm string          `json:"algorithm"`
+			Result    json.RawMessage `json:"result"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &export); err != nil {
+		t.Fatalf("export is not JSON: %v\n%s", err, out.String())
+	}
+	if export.ID != sub.ID || len(export.Cells) != 2 || len(export.Cells[0].Result) == 0 {
+		t.Fatalf("export shape wrong: %s", out.String())
+	}
+
+	// CSV export to a file.
+	csvPath := filepath.Join(t.TempDir(), "grid.csv")
+	out.Reset()
+	code = run([]string{"campaign", "export", "-addr", addr, "-id", sub.ID, "-format", "csv", "-out", csvPath}, &out, &errb)
+	if code != exitOK {
+		t.Fatalf("csv export exit = %d, stderr: %s", code, errb.String())
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Split(bytes.TrimSpace(csv), []byte("\n")); len(lines) != 3 {
+		t.Fatalf("csv file has %d lines, want 3:\n%s", len(lines), csv)
+	}
+}
+
+func TestCampaignUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"campaign"}, &out, &errb); code != exitUsage {
+		t.Fatalf("bare campaign exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"campaign", "frobnicate"}, &out, &errb); code != exitUsage {
+		t.Fatalf("unknown campaign subcommand exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"campaign", "submit", "-addr", "x"}, &out, &errb); code != exitUsage {
+		t.Fatalf("submit without -spec exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"campaign", "status", "-addr", "x"}, &out, &errb); code != exitUsage {
+		t.Fatalf("status without -id exit = %d, want %d", code, exitUsage)
+	}
+	if code := run([]string{"campaign", "export", "-addr", "x"}, &out, &errb); code != exitUsage {
+		t.Fatalf("export without -id exit = %d, want %d", code, exitUsage)
+	}
+}
+
+func TestCampaignStorelessDaemon(t *testing.T) {
+	addr := newDaemon(t) // memory-only daemon, no -store
+	specPath := writeSpecFile(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"campaign", "submit", "-addr", addr, "-spec", specPath}, &out, &errb)
+	if code != exitErr {
+		t.Fatalf("storeless submit exit = %d, want %d", code, exitErr)
+	}
+	if !strings.Contains(errb.String(), "-store") {
+		t.Fatalf("stderr does not mention -store: %s", errb.String())
+	}
+}

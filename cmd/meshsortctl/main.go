@@ -8,6 +8,9 @@
 //	meshsortctl submit -alg snake-a -side 16 -trials 256 [...]
 //	meshsortctl await  -id j-000001 [-timeout 120s] [-json]
 //	meshsortctl status -id j-000001
+//	meshsortctl campaign submit -spec grid.json [-await] [-timeout 10m]
+//	meshsortctl campaign status -id c-... [-wait] [-timeout 10m]
+//	meshsortctl campaign export -id c-... [-format json|csv] [-out FILE]
 //	meshsortctl metrics
 //	meshsortctl health
 //
@@ -47,7 +50,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: meshsortctl <run|submit|await|status|metrics|health> [flags]")
+	fmt.Fprintln(stderr, "usage: meshsortctl <run|submit|await|status|campaign|metrics|health> [flags]")
 	fmt.Fprintln(stderr, "run 'meshsortctl <command> -h' for the command's flags")
 	return exitUsage
 }
@@ -66,6 +69,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdAwait(rest, stdout, stderr)
 	case "status":
 		return cmdStatus(rest, stdout, stderr)
+	case "campaign":
+		return cmdCampaign(rest, stdout, stderr)
 	case "metrics":
 		return cmdText(rest, stdout, stderr, "/metrics")
 	case "health":

@@ -8,10 +8,17 @@
 //	meshsortd [-addr 127.0.0.1:8080] [-portfile FILE]
 //	          [-concurrency 2] [-queue 64] [-trial-workers 0]
 //	          [-job-timeout 60s] [-cache 512] [-max-trials N] [-max-cells N]
+//	          [-store DIR] [-campaign-concurrency 1]
 //	          [-drain-timeout 2m] [-drain-grace 500ms] [-log-level info]
 //
 // With -addr host:0 the kernel picks a free port; -portfile writes the
 // bound port as decimal text so scripts (make serve-smoke) can find it.
+//
+// With -store DIR the daemon opens the durable content-addressed result
+// store (internal/store) in DIR: executed payloads persist write-behind,
+// cache misses read through to disk, and the /v1/campaigns endpoints
+// accept resumable sweep campaigns. Without it the daemon is memory-only
+// and campaigns answer 503.
 //
 // Shutdown sequence on signal: stop accepting jobs (503), wait until every
 // queued and running job finished (bounded by -drain-timeout), keep the
@@ -36,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -57,6 +65,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		cacheSize    = fs.Int("cache", 0, "result-cache entries (0 = default 512)")
 		maxTrials    = fs.Int("max-trials", 0, "largest trials value a job may request (0 = default)")
 		maxCells     = fs.Int("max-cells", 0, "largest rows*cols a job may request (0 = default)")
+		storeDir     = fs.String("store", "", "durable result-store directory (empty = memory-only, no campaigns)")
+		campaignConc = fs.Int("campaign-concurrency", 0, "campaign cells in flight at once (0 = default 1)")
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "bound on waiting for in-flight jobs at shutdown")
 		drainGrace   = fs.Duration("drain-grace", 500*time.Millisecond, "listener grace after drain so pollers fetch results")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
@@ -75,14 +85,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	logger := slog.New(slog.NewTextHandler(stderr, &slog.HandlerOptions{Level: level}))
 
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "meshsortd:", err)
+			return 1
+		}
+		// Closed after the listener stops: every write-behind put is
+		// covered by Drain/Close, which the shutdown path runs first.
+		defer st.Close()
+		stats := st.Stats()
+		logger.Info("store open", "dir", *storeDir,
+			"entries", stats.Entries, "live_bytes", stats.LiveBytes,
+			"recovered_bytes", stats.RecoveredBytes)
+	}
+
 	srv := serve.NewServer(serve.Config{
-		Concurrency:  *concurrency,
-		QueueDepth:   *queue,
-		TrialWorkers: *trialWorkers,
-		JobTimeout:   *jobTimeout,
-		CacheEntries: *cacheSize,
-		Limits:       serve.Limits{MaxTrials: *maxTrials, MaxCells: *maxCells},
-		Logger:       logger,
+		Concurrency:         *concurrency,
+		QueueDepth:          *queue,
+		TrialWorkers:        *trialWorkers,
+		JobTimeout:          *jobTimeout,
+		CacheEntries:        *cacheSize,
+		Limits:              serve.Limits{MaxTrials: *maxTrials, MaxCells: *maxCells},
+		Store:               st,
+		CampaignConcurrency: *campaignConc,
+		Logger:              logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

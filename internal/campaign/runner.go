@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/mcbatch"
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+// CellOutcome says how the Runner satisfied one cell.
+type CellOutcome int
+
+const (
+	// CellSkipped means the cell's payload was already in the store —
+	// the resume path pays nothing for it.
+	CellSkipped CellOutcome = iota
+	// CellExecuted means the cell ran its batch and was persisted.
+	CellExecuted
+)
+
+// String returns the wire name of the outcome.
+func (o CellOutcome) String() string {
+	switch o {
+	case CellSkipped:
+		return "skipped"
+	case CellExecuted:
+		return "executed"
+	default:
+		return "invalid"
+	}
+}
+
+// Progress counts a finished run's cells by outcome.
+type Progress struct {
+	Total    int `json:"total"`
+	Skipped  int `json:"skipped"`
+	Executed int `json:"executed"`
+}
+
+// Runner executes campaign cells against a durable store with bounded
+// concurrency. Every completed cell is persisted before the runner moves
+// past it, so an interrupted run (crash, cancellation) leaves a store
+// from which the next run of the same Spec resumes by skipping.
+type Runner struct {
+	// Store receives each cell's canonical payload; cells whose key it
+	// already holds are skipped. Required.
+	Store *store.Store
+	// Concurrency is the number of cells in flight at once. Default 1 —
+	// the per-cell trial pool already uses the machine; raise it to
+	// overlap small cells.
+	Concurrency int
+	// TrialWorkers is the mcbatch worker-pool size inside each cell
+	// (0 = GOMAXPROCS; a result-neutral execution hint).
+	TrialWorkers int
+	// CellTimeout bounds one cell's execution (0 = unbounded). A cell
+	// that exceeds it fails the run with context.DeadlineExceeded.
+	CellTimeout time.Duration
+	// OnCell, when set, observes each cell's outcome as it completes.
+	// Called concurrently from worker goroutines.
+	OnCell func(i int, c Cell, outcome CellOutcome)
+}
+
+// Run executes cells until all are stored or ctx is cancelled. It
+// returns the outcome counts on success; on error (a failed cell, or
+// cancellation) the store still holds every cell completed so far, and a
+// later Run of the same cells finishes the remainder.
+//
+// Cells are claimed in expansion order by a bounded pool
+// (mcbatch.MapCtx), and results land in the store as cells finish; the
+// store's contents after completion are independent of Concurrency and
+// interruption history, which is what makes exports byte-identical
+// across crash/resume schedules.
+func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
+	if r.Store == nil {
+		return Progress{}, fmt.Errorf("campaign: Runner needs a Store")
+	}
+	concurrency := r.Concurrency
+	if concurrency <= 0 {
+		concurrency = 1
+	}
+	outcomes, err := mcbatch.MapCtx(ctx, concurrency, len(cells), func(i int) (CellOutcome, error) {
+		c := cells[i]
+		if r.Store.Has(c.Key) {
+			if r.OnCell != nil {
+				r.OnCell(i, c, CellSkipped)
+			}
+			return CellSkipped, nil
+		}
+		spec := c.Spec
+		spec.Workers = r.TrialWorkers
+		cellCtx := ctx
+		if r.CellTimeout > 0 {
+			var cancel context.CancelFunc
+			cellCtx, cancel = context.WithTimeout(ctx, r.CellTimeout)
+			defer cancel()
+		}
+		b, err := mcbatch.RunCtx(cellCtx, spec)
+		if err != nil {
+			return 0, fmt.Errorf("campaign: cell %d (%s): %w", i, c, err)
+		}
+		payload, err := report.BuildPayload(c.Spec, c.Key, b)
+		if err != nil {
+			return 0, fmt.Errorf("campaign: cell %d (%s): %w", i, c, err)
+		}
+		if err := r.Store.Put(c.Key, payload); err != nil {
+			return 0, fmt.Errorf("campaign: cell %d (%s): %w", i, c, err)
+		}
+		if r.OnCell != nil {
+			r.OnCell(i, c, CellExecuted)
+		}
+		return CellExecuted, nil
+	})
+	if err != nil {
+		return Progress{}, err
+	}
+	p := Progress{Total: len(cells)}
+	for _, o := range outcomes {
+		if o == CellSkipped {
+			p.Skipped++
+		} else {
+			p.Executed++
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,247 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/store"
+)
+
+func openStore(t *testing.T) *store.Store {
+	t.Helper()
+	s, err := store.OpenOptions(t.TempDir(), store.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func smallSpec() Spec {
+	return Spec{
+		Name:       "small",
+		Algorithms: []string{"snake-a", "rm-rf"},
+		Sides:      []int{4, 6},
+		Trials:     []int{6},
+		Workloads:  []string{WorkloadPerm, WorkloadZeroOne},
+		Seed:       11,
+	}
+}
+
+func TestRunnerRunsAndPersistsEveryCell(t *testing.T) {
+	st := openStore(t)
+	cells, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &Runner{Store: st, Concurrency: 3, TrialWorkers: 2}
+	p, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != len(cells) || p.Executed != len(cells) || p.Skipped != 0 {
+		t.Fatalf("first run progress = %+v", p)
+	}
+	for _, c := range cells {
+		if !st.Has(c.Key) {
+			t.Fatalf("cell %s not persisted", c)
+		}
+	}
+
+	// A second run of the same cells is pure skips.
+	p2, err := r.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Executed != 0 || p2.Skipped != len(cells) {
+		t.Fatalf("second run progress = %+v", p2)
+	}
+}
+
+func TestRunnerResumeRunsOnlyMissingCells(t *testing.T) {
+	st := openStore(t)
+	cells, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-run a prefix, as an interrupted campaign would have left it.
+	const done = 3
+	r := &Runner{Store: st}
+	if _, err := r.Run(context.Background(), cells[:done]); err != nil {
+		t.Fatal(err)
+	}
+
+	var executed, skipped atomic.Int64
+	r2 := &Runner{Store: st, Concurrency: 2, OnCell: func(i int, c Cell, o CellOutcome) {
+		switch o {
+		case CellExecuted:
+			executed.Add(1)
+		case CellSkipped:
+			skipped.Add(1)
+		}
+	}}
+	p, err := r2.Run(context.Background(), cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Skipped != done || p.Executed != len(cells)-done {
+		t.Fatalf("resume progress = %+v, want %d skipped / %d executed", p, done, len(cells)-done)
+	}
+	if executed.Load() != int64(len(cells)-done) || skipped.Load() != int64(done) {
+		t.Fatalf("OnCell saw %d executed / %d skipped", executed.Load(), skipped.Load())
+	}
+}
+
+func TestRunnerCancellation(t *testing.T) {
+	st := openStore(t)
+	cells, err := smallSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Runner{Store: st}).Run(ctx, cells); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v", err)
+	}
+}
+
+func TestRunnerRequiresStore(t *testing.T) {
+	if _, err := (&Runner{}).Run(context.Background(), nil); err == nil {
+		t.Fatal("Run without a Store succeeded")
+	}
+}
+
+// TestExportByteIdentityAcrossInterruption is the package-level half of
+// the crash-resume acceptance criterion: a campaign run in interrupted
+// pieces against one store exports byte-identically to the same campaign
+// run uninterrupted against a fresh store.
+func TestExportByteIdentityAcrossInterruption(t *testing.T) {
+	spec := smallSpec()
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Store A: run in three fragments (simulating two interruptions),
+	// out of order concurrency within each fragment.
+	stA := openStore(t)
+	rA := &Runner{Store: stA, Concurrency: 2}
+	for _, frag := range [][2]int{{0, 3}, {0, 5}, {0, len(cells)}} {
+		if _, err := rA.Run(context.Background(), cells[frag[0]:frag[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Store B: one uninterrupted serial run.
+	stB := openStore(t)
+	if _, err := (&Runner{Store: stB}).Run(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+
+	jsonA, err := ExportJSON(spec, stA.Get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonB, err := ExportJSON(spec, stB.Get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonA, jsonB) {
+		t.Fatalf("JSON exports differ across interruption history:\nA: %d bytes\nB: %d bytes", len(jsonA), len(jsonB))
+	}
+	csvA, err := ExportCSV(spec, stA.Get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvB, err := ExportCSV(spec, stB.Get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csvA, csvB) {
+		t.Fatal("CSV exports differ across interruption history")
+	}
+}
+
+func TestExportIncomplete(t *testing.T) {
+	spec := smallSpec()
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := openStore(t)
+	if _, err := (&Runner{Store: st}).Run(context.Background(), cells[:2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExportJSON(spec, st.Get); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("partial export returned %v, want ErrIncomplete", err)
+	}
+	if _, err := ExportCSV(spec, st.Get); !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("partial CSV export returned %v, want ErrIncomplete", err)
+	}
+}
+
+func TestExportShapes(t *testing.T) {
+	spec := Spec{Algorithms: []string{"snake-a"}, Sides: []int{4}, Trials: []int{4}, Seed: 3}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := openStore(t)
+	if _, err := (&Runner{Store: st}).Run(context.Background(), cells); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExportJSON(spec, st.Get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(out, []byte(`"algorithm": "snake-a"`)) ||
+		!bytes.Contains(out, []byte(`"steps"`)) {
+		t.Fatalf("JSON export missing expected fields:\n%s", out)
+	}
+	csv, err := ExportCSV(spec, st.Get)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(csv), []byte("\n"))
+	if len(lines) != 1+len(cells) {
+		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), 1+len(cells), csv)
+	}
+	if !bytes.HasPrefix(lines[0], []byte("algorithm,side,trials,workload,seed,key,steps_mean")) {
+		t.Fatalf("CSV header = %s", lines[0])
+	}
+}
+
+// TestRunnerConcurrencySafety drives two runners over the same store at
+// once; the store must end complete and consistent (run with -race).
+func TestRunnerConcurrencySafety(t *testing.T) {
+	spec := smallSpec()
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := openStore(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := &Runner{Store: st, Concurrency: 2}
+			if _, err := r.Run(context.Background(), cells); err != nil {
+				t.Errorf("concurrent Run: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, c := range cells {
+		if !st.Has(c.Key) {
+			t.Fatalf("cell %s missing after concurrent runs", c)
+		}
+	}
+	if _, err := ExportJSON(spec, st.Get); err != nil {
+		t.Fatal(err)
+	}
+}

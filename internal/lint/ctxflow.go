@@ -10,8 +10,9 @@ import (
 // layers: cancellation must be able to reach from the HTTP handler (or
 // the daemon's lifecycle) into the trial loop, which only works if no
 // function along the way fabricates a fresh root context. The packages
-// below the entry points — internal/serve and internal/mcbatch — must
-// thread the context they were handed:
+// below the entry points — internal/serve, internal/mcbatch, and the
+// durability layer (internal/store, internal/campaign) — must thread the
+// context they were handed:
 //
 //   - context.TODO() is always flagged: it marks an unfinished plumbing
 //     job, and in these packages that job is done.
@@ -30,7 +31,12 @@ var CtxFlow = &Analyzer{
 	Doc: "forbid context.Background()/TODO() below the serving and batch " +
 		"entry points; blocking work must thread the caller's context",
 	Targets: func(path string) bool {
-		return path == "repro/internal/serve" || path == "repro/internal/mcbatch"
+		switch path {
+		case "repro/internal/serve", "repro/internal/mcbatch",
+			"repro/internal/store", "repro/internal/campaign":
+			return true
+		}
+		return false
 	},
 	Run: runCtxFlow,
 }

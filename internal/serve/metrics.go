@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"repro/internal/store"
 )
 
 // metrics is meshsortd's dependency-free observability surface: a fixed
@@ -19,11 +21,29 @@ type metrics struct {
 	jobsOK        atomic.Int64 // jobs completed successfully (executed, not cached)
 	jobsFailed    atomic.Int64 // jobs that errored
 	jobsCanceled  atomic.Int64 // jobs stopped by timeout or shutdown
-	cacheHits     atomic.Int64 // submissions served from the result cache
-	cacheMisses   atomic.Int64 // submissions that had to execute
-	running       atomic.Int64 // jobs currently executing
-	trialNs       nsHistogram  // ns per trial of completed jobs
-	jobsByKernel  kernelCounters
+	// The cache is layered: the in-memory LRU answers first, then the
+	// durable store (read-through). The two hit counters are reported as
+	// one labelled series so dashboards can tell a warm process from a
+	// warm disk.
+	cacheHitsMemory atomic.Int64 // submissions served from the in-memory LRU
+	cacheHitsStore  atomic.Int64 // submissions served from the durable store
+	cacheMisses     atomic.Int64 // submissions that had to execute
+	storePuts       atomic.Int64 // payloads persisted write-behind
+	storeErrors     atomic.Int64 // store get/put failures (served degraded, not fatal)
+	running         atomic.Int64 // jobs currently executing
+	trialNs         nsHistogram  // ns per trial of completed jobs
+	jobsByKernel    kernelCounters
+
+	campaignsSubmitted  atomic.Int64 // accepted campaign submissions, incl. dedups
+	campaignsDeduped    atomic.Int64 // submissions attached to an identical live campaign
+	campaignsDone       atomic.Int64 // campaigns that completed their grid
+	campaignsFailed     atomic.Int64 // campaigns stopped by a failing cell
+	campaignsResumed    atomic.Int64 // campaign launches that skipped ≥1 stored cell
+	campaignsRunning    atomic.Int64 // campaigns currently executing cells
+	campaignCellsRun    atomic.Int64 // cells executed by campaign runners
+	campaignCellsSkip   atomic.Int64 // cells skipped because the store already held them
+	campaignsInterrupt  atomic.Int64 // campaigns stopped by shutdown/cancellation
+	campaignExportBytes atomic.Int64 // bytes served by campaign exports
 }
 
 // kernelLabels is the fixed render order of the by-kernel job counter:
@@ -78,10 +98,20 @@ func (h *nsHistogram) observe(ns int64) {
 	h.n.Add(1)
 }
 
-// writeProm renders the metrics. queueDepth/queueCap and cacheLen/cacheCap
-// are sampled by the caller because they live in the queue channel and the
-// cache, not in the counter set.
-func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, cacheLen, cacheCap int) {
+// promSample carries the point-in-time values writeProm renders as
+// gauges: they live in the queue channel, the cache, and the store, not
+// in the counter set, so the caller samples them at scrape time.
+type promSample struct {
+	queueDepth, queueCap int
+	cacheLen, cacheCap   int
+	// storeStats is nil when the daemon runs without a durable store; the
+	// store series are then omitted entirely (absent, not zero), so a
+	// dashboard can tell "no store" from "empty store".
+	storeStats *store.Stats
+}
+
+// writeProm renders the metrics.
+func (m *metrics) writeProm(w io.Writer, s promSample) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -113,18 +143,67 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, cacheLen, cacheCa
 	fmt.Fprintf(w, "meshsortd_jobs_by_kernel_total{kernel=\"other\"} %d\n",
 		m.jobsByKernel.counts[len(kernelLabels)].Load())
 
-	counter("meshsortd_cache_hits_total",
-		"Submissions answered from the content-addressed result cache.",
-		m.cacheHits.Load())
+	fmt.Fprintf(w, "# HELP meshsortd_cache_hits_total Submissions answered without execution, by cache layer.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "meshsortd_cache_hits_total{layer=\"memory\"} %d\n", m.cacheHitsMemory.Load())
+	fmt.Fprintf(w, "meshsortd_cache_hits_total{layer=\"store\"} %d\n", m.cacheHitsStore.Load())
 	counter("meshsortd_cache_misses_total",
-		"Submissions whose key was absent from the result cache.",
+		"Submissions whose key was absent from every cache layer.",
 		m.cacheMisses.Load())
 
-	gauge("meshsortd_queue_depth", "Jobs waiting in the queue.", int64(queueDepth))
-	gauge("meshsortd_queue_capacity", "Capacity of the job queue.", int64(queueCap))
+	gauge("meshsortd_queue_depth", "Jobs waiting in the queue.", int64(s.queueDepth))
+	gauge("meshsortd_queue_capacity", "Capacity of the job queue.", int64(s.queueCap))
 	gauge("meshsortd_jobs_running", "Jobs currently executing.", m.running.Load())
-	gauge("meshsortd_cache_entries", "Entries in the result cache.", int64(cacheLen))
-	gauge("meshsortd_cache_capacity", "Capacity of the result cache.", int64(cacheCap))
+	gauge("meshsortd_cache_entries", "Entries in the in-memory result cache.", int64(s.cacheLen))
+	gauge("meshsortd_cache_capacity", "Capacity of the in-memory result cache.", int64(s.cacheCap))
+
+	if s.storeStats != nil {
+		counter("meshsortd_store_puts_total",
+			"Result payloads persisted to the durable store (write-behind).",
+			m.storePuts.Load())
+		counter("meshsortd_store_errors_total",
+			"Durable-store get/put failures; the daemon degrades to compute-only.",
+			m.storeErrors.Load())
+		counter("meshsortd_store_compactions_total",
+			"Log compaction passes run by the durable store.",
+			s.storeStats.Compactions)
+		gauge("meshsortd_store_entries", "Live keys in the durable store.",
+			int64(s.storeStats.Entries))
+		gauge("meshsortd_store_bytes", "Live record bytes in the durable store.",
+			s.storeStats.LiveBytes)
+		gauge("meshsortd_store_dead_bytes",
+			"Record bytes shadowed by rewrites, reclaimed at the next compaction.",
+			s.storeStats.DeadBytes)
+		gauge("meshsortd_store_log_bytes", "Size of the durable store's record log.",
+			s.storeStats.LogBytes)
+		gauge("meshsortd_store_recovered_bytes",
+			"Torn-tail bytes truncated by crash recovery at open.",
+			s.storeStats.RecoveredBytes)
+	}
+
+	counter("meshsortd_campaigns_submitted_total",
+		"Accepted campaign submissions, including dedups onto live campaigns.",
+		m.campaignsSubmitted.Load())
+	counter("meshsortd_campaigns_deduped_total",
+		"Campaign submissions attached to an identical running or finished campaign.",
+		m.campaignsDeduped.Load())
+	counter("meshsortd_campaigns_resumed_total",
+		"Campaign launches that skipped at least one already-stored cell.",
+		m.campaignsResumed.Load())
+	fmt.Fprintf(w, "# HELP meshsortd_campaigns_completed_total Campaigns by terminal status.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_campaigns_completed_total counter\n")
+	fmt.Fprintf(w, "meshsortd_campaigns_completed_total{status=\"done\"} %d\n", m.campaignsDone.Load())
+	fmt.Fprintf(w, "meshsortd_campaigns_completed_total{status=\"failed\"} %d\n", m.campaignsFailed.Load())
+	fmt.Fprintf(w, "meshsortd_campaigns_completed_total{status=\"interrupted\"} %d\n", m.campaignsInterrupt.Load())
+	fmt.Fprintf(w, "# HELP meshsortd_campaign_cells_total Campaign cells by outcome.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_campaign_cells_total counter\n")
+	fmt.Fprintf(w, "meshsortd_campaign_cells_total{outcome=\"executed\"} %d\n", m.campaignCellsRun.Load())
+	fmt.Fprintf(w, "meshsortd_campaign_cells_total{outcome=\"skipped\"} %d\n", m.campaignCellsSkip.Load())
+	gauge("meshsortd_campaigns_running", "Campaigns currently executing cells.",
+		m.campaignsRunning.Load())
+	counter("meshsortd_campaign_export_bytes_total",
+		"Bytes served by campaign export downloads.",
+		m.campaignExportBytes.Load())
 
 	fmt.Fprintf(w, "# HELP meshsortd_job_trial_ns Nanoseconds per trial of completed jobs.\n")
 	fmt.Fprintf(w, "# TYPE meshsortd_job_trial_ns histogram\n")

@@ -1,75 +1,19 @@
 package serve
 
 import (
-	"encoding/json"
-
-	"repro/internal/mcbatch"
 	"repro/internal/report"
-	"repro/internal/stats"
 )
 
-// Summary is the wire form of one Welford accumulator: the E[·]/Var(·)
-// estimates the paper's tables are built from, plus the extremes. CI95 is
-// omitted when fewer than two trials make it undefined (JSON cannot carry
-// +Inf).
-type Summary struct {
-	N        int64    `json:"n"`
-	Mean     float64  `json:"mean"`
-	Variance float64  `json:"variance"`
-	StdDev   float64  `json:"stddev"`
-	Min      float64  `json:"min"`
-	Max      float64  `json:"max"`
-	CI95     *float64 `json:"ci95,omitempty"`
-}
+// The result-payload encoding moved to internal/report so the campaign
+// runner and the daemon share one byte-identical serialization (a stored
+// cell and a served job with the same key must be the same bytes). The
+// aliases keep serve's public surface stable for existing callers.
 
-func summarize(w stats.Welford) Summary {
-	s := Summary{
-		N:        w.N(),
-		Mean:     w.Mean(),
-		Variance: w.Variance(),
-		StdDev:   w.StdDev(),
-		Min:      w.Min(),
-		Max:      w.Max(),
-	}
-	if w.N() >= 2 {
-		ci := w.CI95()
-		s.CI95 = &ci
-	}
-	return s
-}
+// Summary is the wire form of one Welford accumulator. Alias of
+// report.Summary.
+type Summary = report.Summary
 
-// ResultPayload is the body served for a finished job: the canonical spec
-// echo, the content address, and the paper statistics over the batch. It
-// is built purely from the deterministic Batch — no timestamps, no
-// server identity — so identical Specs always yield byte-identical
-// payloads, which is what makes the result cache transparent.
-type ResultPayload struct {
-	Spec        report.SpecJSON `json:"spec"`
-	Key         string          `json:"key"`
-	Steps       Summary         `json:"steps"`
-	Swaps       Summary         `json:"swaps"`
-	Comparisons Summary         `json:"comparisons"`
-}
-
-// buildPayload marshals the result of a finished batch. The three
-// summaries are folded in trial-index order (like Batch.Steps), so the
-// floating-point aggregates are deterministic under any worker count.
-func buildPayload(spec mcbatch.Spec, key mcbatch.Key, b *mcbatch.Batch) ([]byte, error) {
-	var swaps, comparisons stats.Welford
-	for _, t := range b.Trials {
-		swaps.Add(float64(t.Swaps))
-		comparisons.Add(float64(t.Comparisons))
-	}
-	p := ResultPayload{
-		Spec:        report.CanonicalSpecOf(spec),
-		Key:         key.String(),
-		Steps:       summarize(b.Steps),
-		Swaps:       summarize(swaps),
-		Comparisons: summarize(comparisons),
-	}
-	buf, err := json.MarshalIndent(p, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(buf, '\n'), nil
-}
+// ResultPayload is the body served for a finished job. Alias of
+// report.ResultPayload; see report.BuildPayload for the construction and
+// determinism contract.
+type ResultPayload = report.ResultPayload

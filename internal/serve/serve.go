@@ -9,7 +9,15 @@
 //     mcbatch.Spec hash, which covers exactly the fields that determine
 //     results. Identical deterministic jobs are answered from an LRU cache
 //     with byte-identical payloads, and identical jobs already in flight
-//     are deduplicated singleflight-style onto one execution.
+//     are deduplicated singleflight-style onto one execution. With a
+//     durable store configured (Config.Store), the cache is layered:
+//     the LRU answers first, misses read through to the store, and every
+//     executed payload is persisted write-behind — results survive
+//     restarts byte-for-byte.
+//   - Resumable campaigns: POST /v1/campaigns declares a parameter grid
+//     (internal/campaign) that runs in the background against the store;
+//     a resubmission after a crash resumes by skipping stored cells, and
+//     /v1/campaigns/{id}/export serves the grid as JSON or CSV.
 //   - Bounded queue with backpressure: a configurable number of jobs run
 //     concurrently, the queue holds a configurable backlog, and a full
 //     queue answers 429 instead of buffering unboundedly. Every job runs
@@ -41,6 +49,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcbatch"
+	"repro/internal/report"
+	"repro/internal/store"
 )
 
 // Config tunes the daemon. The zero value serves with sane defaults.
@@ -65,6 +75,15 @@ type Config struct {
 	LongPollMax time.Duration
 	// Limits bounds a single job's size.
 	Limits Limits
+	// Store, when set, is the durable result store layered under the LRU
+	// cache: submissions read through to it, executed payloads persist to
+	// it write-behind, and campaigns require it. Nil serves memory-only.
+	// The caller owns the store's lifecycle (meshsortd closes it after
+	// the listener stops).
+	Store *store.Store
+	// CampaignConcurrency is the number of campaign cells in flight at
+	// once. Default 1 — each cell's trial pool already uses the machine.
+	CampaignConcurrency int
 	// Logger receives request and job logs. Default slog.Default().
 	Logger *slog.Logger
 
@@ -96,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.LongPollMax <= 0 {
 		c.LongPollMax = 30 * time.Second
 	}
+	if c.CampaignConcurrency <= 0 {
+		c.CampaignConcurrency = 1
+	}
 	c.Limits = c.Limits.withDefaults()
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -120,29 +142,40 @@ type Server struct {
 	order []string
 	// byKey indexes in-flight jobs for singleflight dedup. guarded by mu
 	byKey map[mcbatch.Key]*Job
+	// campaigns is the campaign registry, keyed by the content-addressed
+	// campaign ID. guarded by mu
+	campaigns map[string]*Campaign
 
-	inflight sync.WaitGroup // enqueued jobs not yet terminal
-	workers  sync.WaitGroup
-	stopOnce sync.Once
-	stopCh   chan struct{}
+	inflight   sync.WaitGroup // enqueued jobs not yet terminal
+	campaignWG sync.WaitGroup // running campaign goroutines
+	workers    sync.WaitGroup
+	stopOnce   sync.Once
+	stopCh     chan struct{}
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+	// campaignCtx is cancelled at Drain/Close so campaign runners stop
+	// between cells; an interrupted campaign resumes from the store on
+	// resubmission after restart.
+	campaignCtx    context.Context
+	campaignCancel context.CancelFunc
 }
 
 // NewServer builds a server and starts its worker pool.
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		log:    cfg.Logger,
-		cache:  newResultCache(cfg.CacheEntries),
-		queue:  make(chan *Job, cfg.QueueDepth),
-		jobs:   make(map[string]*Job),
-		byKey:  make(map[mcbatch.Key]*Job),
-		stopCh: make(chan struct{}),
+		cfg:       cfg,
+		log:       cfg.Logger,
+		cache:     newResultCache(cfg.CacheEntries),
+		queue:     make(chan *Job, cfg.QueueDepth),
+		jobs:      make(map[string]*Job),
+		byKey:     make(map[mcbatch.Key]*Job),
+		campaigns: make(map[string]*Campaign),
+		stopCh:    make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.campaignCtx, s.campaignCancel = context.WithCancel(s.baseCtx)
 	for w := 0; w < cfg.Concurrency; w++ {
 		s.workers.Add(1)
 		go s.workerLoop()
@@ -201,7 +234,7 @@ func (s *Server) runJob(job *Job) {
 		job.fail(err.Error())
 		return
 	}
-	payload, err := buildPayload(job.spec, job.Key, b)
+	payload, err := report.BuildPayload(job.spec, job.Key, b)
 	if err != nil {
 		s.metrics.jobsFailed.Add(1)
 		job.fail(err.Error())
@@ -221,6 +254,18 @@ func (s *Server) runJob(job *Job) {
 		"trials", job.spec.Trials, "kernel", kernelName,
 		"shards", b.Shards, "ns_per_trial", nsPerTrial)
 	job.complete(payload)
+
+	// Write-behind persistence: the waiter is already unblocked; the
+	// store's fsync happens off the response path. A failure degrades to
+	// compute-only (the result was still served) and is counted.
+	if s.cfg.Store != nil {
+		if err := s.cfg.Store.Put(job.Key, payload); err != nil {
+			s.metrics.storeErrors.Add(1)
+			s.log.Warn("store put failed", "id", job.ID, "key", job.Key.String(), "err", err)
+		} else {
+			s.metrics.storePuts.Add(1)
+		}
+	}
 }
 
 // apiError is a client-visible failure with its HTTP status.
@@ -258,7 +303,7 @@ func (s *Server) submit(req JobRequest) (submitOutcome, *apiError) {
 	s.metrics.jobsSubmitted.Add(1)
 
 	if payload, ok := s.cache.get(key); ok {
-		s.metrics.cacheHits.Add(1)
+		s.metrics.cacheHitsMemory.Add(1)
 		job := s.registerLocked(key, spec)
 		job.markCached()
 		job.complete(payload)
@@ -267,6 +312,23 @@ func (s *Server) submit(req JobRequest) (submitOutcome, *apiError) {
 	if existing, ok := s.byKey[key]; ok {
 		s.metrics.jobsDeduped.Add(1)
 		return submitOutcome{job: existing, deduped: true}, nil
+	}
+	// Read-through to the durable store: a payload persisted by an
+	// earlier process (or a campaign) is served byte-identically and
+	// promoted into the LRU. A store read error degrades to a miss.
+	if s.cfg.Store != nil {
+		payload, ok, err := s.cfg.Store.Get(key)
+		if err != nil {
+			s.metrics.storeErrors.Add(1)
+			s.log.Warn("store get failed", "key", key.String(), "err", err)
+		} else if ok {
+			s.metrics.cacheHitsStore.Add(1)
+			s.cache.put(key, payload)
+			job := s.registerLocked(key, spec)
+			job.markCached()
+			job.complete(payload)
+			return submitOutcome{job: job, cached: true}, nil
+		}
 	}
 
 	job := s.registerLocked(key, spec)
@@ -328,14 +390,19 @@ func (s *Server) jobByID(id string) (*Job, bool) {
 // state (bounded by ctx), then stop the worker pool. Status and result
 // endpoints keep serving throughout and after, so no finished result is
 // dropped; the caller closes the listener afterwards.
+// Campaigns are stopped, not drained: a grid can be hours of work, so
+// Drain cancels the campaign context and the runners exit between cells,
+// leaving the store positioned for a skip-ahead resume on resubmission.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.campaignCancel()
 
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.campaignWG.Wait()
 		close(done)
 	}()
 	select {
@@ -354,11 +421,12 @@ func (s *Server) Drain(ctx context.Context) error {
 // needs no deadline context, and fabricating a root one here would hide
 // that property.
 func (s *Server) Close() {
-	s.baseCancel()
+	s.baseCancel() // also cancels campaignCtx, which derives from baseCtx
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
 	s.inflight.Wait()
+	s.campaignWG.Wait()
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.workers.Wait()
 }
@@ -370,6 +438,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("POST /v1/sort", s.handleSort)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/export", s.handleCampaignExport)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -587,5 +658,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writeProm(w, len(s.queue), cap(s.queue), s.cache.len(), s.cfg.CacheEntries)
+	sample := promSample{
+		queueDepth: len(s.queue), queueCap: cap(s.queue),
+		cacheLen: s.cache.len(), cacheCap: s.cfg.CacheEntries,
+	}
+	if s.cfg.Store != nil {
+		stats := s.cfg.Store.Stats()
+		sample.storeStats = &stats
+	}
+	s.metrics.writeProm(w, sample)
 }

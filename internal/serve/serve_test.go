@@ -162,7 +162,7 @@ func TestCacheHitDeterminism(t *testing.T) {
 	if got := resp1.Header.Get("X-Meshsort-Cache"); got != "miss" {
 		t.Fatalf("first submission cache header: %q, want miss", got)
 	}
-	hitsBefore := metricValue(t, ts.URL, "meshsortd_cache_hits_total")
+	hitsBefore := metricValue(t, ts.URL, `meshsortd_cache_hits_total{layer="memory"}`)
 
 	resp2, buf2 := postJSON(t, ts.URL+"/v1/sort", body)
 	if resp2.StatusCode != http.StatusOK {
@@ -174,8 +174,8 @@ func TestCacheHitDeterminism(t *testing.T) {
 	if !bytes.Equal(buf1, buf2) {
 		t.Fatalf("cache hit is not byte-identical:\n%s\nvs\n%s", buf1, buf2)
 	}
-	if hitsAfter := metricValue(t, ts.URL, "meshsortd_cache_hits_total"); hitsAfter != hitsBefore+1 {
-		t.Fatalf("cache_hits_total: %v -> %v, want +1", hitsBefore, hitsAfter)
+	if hitsAfter := metricValue(t, ts.URL, `meshsortd_cache_hits_total{layer="memory"}`); hitsAfter != hitsBefore+1 {
+		t.Fatalf("cache_hits_total{layer=memory}: %v -> %v, want +1", hitsBefore, hitsAfter)
 	}
 
 	// A different seed must be a different key and a different payload.

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSeedLog builds a store with n records and returns the raw log
+// bytes plus the offset where the final record begins.
+func writeSeedLog(t *testing.T, n int) (raw []byte, lastRecOff int64) {
+	t.Helper()
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < n; i++ {
+		if err := s.Put(testKey(i), testPayload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lastRecOff = s.size - recordHeaderSize - int64(len(testPayload(n-1)))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw, lastRecOff
+}
+
+// TestRecoveryTruncationSweep is the crash-recovery exhaustion test: the
+// log is cut at every byte offset of the final record (simulating a crash
+// at any point of the append) and Open must recover the valid prefix —
+// all earlier records intact, the torn record dropped, no error.
+func TestRecoveryTruncationSweep(t *testing.T) {
+	const n = 6
+	raw, lastRecOff := writeSeedLog(t, n)
+
+	for cut := lastRecOff; cut < int64(len(raw)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := OpenOptions(dir, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d (of %d): Open failed: %v", cut, len(raw), err)
+		}
+		st := s.Stats()
+		if st.Entries != n-1 {
+			t.Fatalf("cut at %d: recovered %d entries, want %d", cut, st.Entries, n-1)
+		}
+		if cut > lastRecOff && st.RecoveredBytes != cut-lastRecOff {
+			t.Fatalf("cut at %d: RecoveredBytes = %d, want %d", cut, st.RecoveredBytes, cut-lastRecOff)
+		}
+		for i := 0; i < n-1; i++ {
+			got, ok, err := s.Get(testKey(i))
+			if err != nil || !ok || !bytes.Equal(got, testPayload(i)) {
+				t.Fatalf("cut at %d: record %d damaged: %q ok=%v err=%v", cut, i, got, ok, err)
+			}
+		}
+		if _, ok, _ := s.Get(testKey(n - 1)); ok {
+			t.Fatalf("cut at %d: torn final record still served", cut)
+		}
+		// The truncated store accepts appends again and they survive.
+		if err := s.Put(testKey(n-1), testPayload(n-1)); err != nil {
+			t.Fatalf("cut at %d: Put after recovery: %v", cut, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r := mustOpen(t, dir, Options{})
+		if got, ok, _ := r.Get(testKey(n - 1)); !ok || !bytes.Equal(got, testPayload(n-1)) {
+			t.Fatalf("cut at %d: re-appended record lost", cut)
+		}
+		r.Close()
+	}
+}
+
+// TestRecoveryBitFlipInTail proves a checksum failure (not just a short
+// read) also truncates: flip one payload byte of the final record.
+func TestRecoveryBitFlipInTail(t *testing.T) {
+	const n = 4
+	raw, lastRecOff := writeSeedLog(t, n)
+	corrupt := append([]byte(nil), raw...)
+	corrupt[lastRecOff+recordHeaderSize] ^= 0x40 // first payload byte
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.Entries != n-1 || st.RecoveredBytes == 0 {
+		t.Fatalf("bit flip not truncated: %+v", st)
+	}
+}
+
+// TestRecoveryInsaneLengthPrefix proves a corrupt length prefix is treated
+// as a torn tail rather than a huge allocation.
+func TestRecoveryInsaneLengthPrefix(t *testing.T) {
+	raw, lastRecOff := writeSeedLog(t, 3)
+	corrupt := append([]byte(nil), raw...)
+	binary.BigEndian.PutUint32(corrupt[lastRecOff:], uint32(maxPayload+1))
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+	if st := s.Stats(); st.Entries != 2 {
+		t.Fatalf("insane length prefix: recovered %d entries, want 2", st.Entries)
+	}
+}

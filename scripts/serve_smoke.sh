@@ -47,7 +47,9 @@ echo "serve-smoke: daemon up at $ADDR"
 
 ctl() { "$TMP/meshsortctl" "$@" -addr "$ADDR"; }
 
-# metric NAME — scrape one (unlabelled) counter value from /metrics.
+# metric NAME — scrape one counter value from /metrics. NAME must match
+# the full series, labels included (no space before the value in the
+# Prometheus text format, so the labelled series is one awk field).
 metric() {
     ctl metrics | awk -v name="$1" '$1 == name { print $2 }'
 }
@@ -65,14 +67,14 @@ for alg in rm-rf rm-cf snake-a snake-b snake-c; do
 done
 
 echo "serve-smoke: resubmitting snake-a, expecting a cache hit"
-hits_before=$(metric meshsortd_cache_hits_total)
+hits_before=$(metric 'meshsortd_cache_hits_total{layer="memory"}')
 ctl run -alg snake-a -side 8 -trials 32 -seed 7 > "$TMP/rerun.out"
 grep -q 'cache hit' "$TMP/rerun.out" || {
     echo "serve-smoke: resubmit was not served from cache" >&2
     cat "$TMP/rerun.out" >&2
     exit 1
 }
-hits_after=$(metric meshsortd_cache_hits_total)
+hits_after=$(metric 'meshsortd_cache_hits_total{layer="memory"}')
 if [ "$hits_after" -le "$hits_before" ]; then
     echo "serve-smoke: cache_hits_total did not increase ($hits_before -> $hits_after)" >&2
     exit 1
