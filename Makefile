@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold bench-bigside experiments experiments-quick lemmas fmt vet cover lint meshlint vet-perf serve-smoke store-smoke
+.PHONY: all build test test-race bench bench-batch bench-kernel bench-zeroone bench-threshold bench-bigside bench-fabric experiments experiments-quick experiments-output lemmas fmt vet cover lint meshlint vet-perf serve-smoke store-smoke fabric-smoke
 
 all: build vet test
 
@@ -14,7 +14,7 @@ test:
 
 test-race:
 	$(GO) test -race ./internal/engine/ ./internal/experiments/ ./internal/procmesh/ \
-		./internal/mcbatch/ ./internal/serve/ ./internal/kerneltest/
+		./internal/mcbatch/ ./internal/serve/ ./internal/kerneltest/ ./internal/fabric/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -53,11 +53,26 @@ bench-threshold:
 bench-bigside:
 	$(GO) run ./cmd/benchbatch -suite bigside -out BENCH_bigside.json $(BENCHFLAGS)
 
+# Distributed trial fabric on loopback: 1/2/3 in-process worker daemons
+# vs a single-process baseline, with every fleet's merged payload checked
+# byte-for-byte against the single-process run (writes BENCH_fabric.json
+# at the repo root). On a few-core host the report carries an honest
+# caveat: the numbers are dispatch overhead, not scaling.
+bench-fabric:
+	$(GO) run ./cmd/benchbatch -suite fabric -out BENCH_fabric.json $(BENCHFLAGS)
+
 experiments:
 	$(GO) run ./cmd/experiments
 
 experiments-quick:
 	$(GO) run ./cmd/experiments -quick
+
+# experiments-output regenerates the full experiments transcript locally.
+# The file is gitignored: it is a build artifact of cmd/experiments, and
+# the committed source of truth for the paper tables is EXPERIMENTS.md.
+experiments-output:
+	$(GO) run ./cmd/experiments > experiments_output.txt
+	@echo "wrote experiments_output.txt"
 
 lemmas:
 	$(GO) run ./cmd/lemmas -side 8 -trials 500
@@ -95,6 +110,13 @@ serve-smoke:
 # byte-identically to an uninterrupted run.
 store-smoke:
 	sh scripts/store_smoke.sh
+
+# fabric-smoke is the dead-peer gate: boot three worker daemons and a
+# coordinator (race-detector builds), SIGKILL one worker mid-sweep, and
+# assert the coordinator requeues its shards onto the survivors and the
+# exported payload is byte-identical to a single-node run.
+fabric-smoke:
+	sh scripts/fabric_smoke.sh
 
 # lint is the full static gate CI runs: formatting, go vet, meshlint,
 # and — when the tools are installed — staticcheck and govulncheck.

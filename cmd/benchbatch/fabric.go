@@ -1,0 +1,254 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"time"
+
+	meshsort "repro"
+	"repro/internal/fabric"
+	"repro/internal/mcbatch"
+	"repro/internal/report"
+	"repro/internal/serve"
+)
+
+// The fabric suite (BENCH_fabric.json via `make bench-fabric`) measures
+// the distributed trial fabric end to end on loopback: it boots N
+// in-process worker daemons (full meshsortd serving stacks behind real
+// TCP listeners), fans one Spec out through a fabric.Coordinator at
+// N ∈ {1, 2, 3}, and reports wall clock, trials/sec and shards/sec per
+// fleet size next to a plain single-process mcbatch baseline. Every
+// fleet arm is also a differential: the merged batch must rebuild into a
+// result payload byte-identical to the single-process one, or the suite
+// fails. Per-shard remote attempt counts from the last rep are recorded
+// so a committed report shows whether any shard needed the retry path.
+//
+// Honest-hardware note: the suite writes a caveat string into the report
+// when the coordinator and all workers share few cores (the CI container
+// has one). There the numbers measure fabric dispatch overhead, not
+// scaling — real speedup needs workers on separate machines or cores,
+// which is exactly what the caveat says.
+
+// fabricNodeResult is one fleet-size point of the suite.
+type fabricNodeResult struct {
+	Nodes  int `json:"nodes"`
+	Shards int `json:"shards"`
+	Reps   int `json:"reps"`
+	// WallNs is the best rep's whole-sweep wall clock on the coordinator.
+	WallNs       int64   `json:"wall_ns"`
+	NsPerTrial   float64 `json:"ns_per_trial"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+	ShardsPerSec float64 `json:"shards_per_sec"`
+	// SpeedupVsLocal compares against the single-process mcbatch baseline;
+	// on a shared-core host this is dispatch overhead, not scaling.
+	SpeedupVsLocal float64 `json:"speedup_vs_local"`
+	// Coordinator counters accumulated over all reps of this fleet size.
+	ShardsRemote int64 `json:"shards_remote"`
+	ShardsLocal  int64 `json:"shards_local_fallback"`
+	Retries      int64 `json:"retries"`
+	// PerShardAttempts is the last rep's failed remote attempts per shard,
+	// in shard order — all zeros on a healthy loopback fleet.
+	PerShardAttempts []int `json:"per_shard_attempts"`
+	// PayloadIdentical records the enforced differential: the merged
+	// result payload is byte-identical to the single-process run's.
+	PayloadIdentical bool `json:"payload_identical_to_single_node"`
+}
+
+type fabricSuiteReport struct {
+	hostInfo
+	Caveat string `json:"caveat,omitempty"`
+	report.SpecJSON
+	ShardTrials     int                `json:"shard_trials"`
+	LocalWallNs     int64              `json:"local_wall_ns"`
+	LocalNsPerTrial float64            `json:"local_ns_per_trial"`
+	Results         []fabricNodeResult `json:"results"`
+}
+
+// loopbackWorker is one in-process worker daemon: a serve.Server behind
+// a real TCP listener, so the coordinator pays genuine HTTP costs.
+type loopbackWorker struct {
+	addr string
+	srv  *serve.Server
+	hs   *http.Server
+}
+
+func startWorker() (*loopbackWorker, error) {
+	s := serve.NewServer(serve.Config{
+		Concurrency:  2,
+		TrialWorkers: 1,
+		Logger:       slog.New(slog.NewTextHandler(bytes.NewBuffer(nil), nil)),
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	return &loopbackWorker{addr: ln.Addr().String(), srv: s, hs: hs}, nil
+}
+
+func (w *loopbackWorker) stop() {
+	_ = w.hs.Close()
+	w.srv.Close()
+}
+
+// measureFabricNodes boots a fresh fleet of n workers and runs the spec
+// through a coordinator once per rep. Each rep runs under its own seed
+// (seeds[rep]): the worker daemons keep a content-addressed shard cache,
+// so repeating one seed would time cache hits from rep 2 on and report a
+// fantasy speedup. Every rep's merged payload is checked byte-for-byte
+// against the single-process payload for the same seed.
+func measureFabricNodes(reps, n, shardTrials int, spec mcbatch.Spec, seeds []uint64, payloads map[uint64][]byte) (fabricNodeResult, error) {
+	var peers []string
+	var workers []*loopbackWorker
+	defer func() {
+		for _, w := range workers {
+			w.stop()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		w, err := startWorker()
+		if err != nil {
+			return fabricNodeResult{}, err
+		}
+		workers = append(workers, w)
+		peers = append(peers, w.addr)
+	}
+	coord := fabric.New(fabric.Config{
+		Peers:       peers,
+		ShardTrials: shardTrials,
+		Logger:      slog.New(slog.NewTextHandler(bytes.NewBuffer(nil), nil)),
+	})
+	defer coord.Close()
+
+	best := time.Duration(1 << 62)
+	var lastRep *fabric.Report
+	for rep := 0; rep < reps; rep++ {
+		spec.Seed = seeds[rep]
+		start := time.Now()
+		b, r, err := coord.RunReport(context.Background(), spec)
+		if err != nil {
+			return fabricNodeResult{}, fmt.Errorf("%d-node fleet: %w", n, err)
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+		if r == nil {
+			return fabricNodeResult{}, fmt.Errorf("%d-node fleet: coordinator degraded to a whole-local run", n)
+		}
+		lastRep = r
+		key, err := spec.Hash()
+		if err != nil {
+			return fabricNodeResult{}, err
+		}
+		payload, err := report.BuildPayload(spec, key, b)
+		if err != nil {
+			return fabricNodeResult{}, err
+		}
+		if !bytes.Equal(payload, payloads[spec.Seed]) {
+			return fabricNodeResult{}, fmt.Errorf(
+				"%d-node fleet, seed %d: merged payload differs from the single-process run — placement independence broken",
+				n, spec.Seed)
+		}
+	}
+
+	attempts := make([]int, len(lastRep.Shards))
+	for i, sh := range lastRep.Shards {
+		attempts[i] = sh.Attempts
+	}
+	st := coord.Stats()
+	ns := float64(best.Nanoseconds()) / float64(spec.Trials)
+	return fabricNodeResult{
+		Nodes:            n,
+		Shards:           len(lastRep.Shards),
+		Reps:             reps,
+		WallNs:           best.Nanoseconds(),
+		NsPerTrial:       ns,
+		TrialsPerSec:     1e9 / ns,
+		ShardsPerSec:     float64(len(lastRep.Shards)) / best.Seconds(),
+		ShardsRemote:     st.ShardsRemote,
+		ShardsLocal:      st.ShardsLocal,
+		Retries:          st.Retries,
+		PerShardAttempts: attempts,
+		PayloadIdentical: true,
+	}, nil
+}
+
+// fabricTrials lifts tiny -trials values to a count that actually
+// shards: at least 6 shards of 64 trials, so a 3-node fleet has work to
+// spread and the shard-merge path is exercised, never the single-shard
+// shortcut.
+func fabricTrials(trials int) int {
+	if trials < 6*64 {
+		return 6 * 64
+	}
+	return trials
+}
+
+func runFabricSuite(reps, trials int) (any, string, error) {
+	rep := fabricSuiteReport{hostInfo: collectHostInfo()}
+	const shardTrials = 64
+	spec := mcbatch.Spec{
+		Algorithm: meshsort.SnakeA, Rows: 32, Cols: 32,
+		Trials: fabricTrials(trials), Seed: 7,
+	}
+	if rep.NumCPU < 4 {
+		rep.Caveat = fmt.Sprintf(
+			"coordinator and all loopback workers share %d CPU(s): figures measure fabric dispatch overhead, not scaling; distributed speedup needs workers on separate cores or machines",
+			rep.NumCPU)
+	}
+	rep.SpecJSON = report.SpecOf(spec)
+	rep.ShardTrials = shardTrials
+
+	// One seed per rep: the fleets' shard caches must never serve a timed
+	// run. The single-process baseline runs the same seed sequence and its
+	// payloads are what every fleet rep must reproduce byte-for-byte.
+	seeds := make([]uint64, reps)
+	payloads := make(map[uint64][]byte, reps)
+	localBest := time.Duration(1 << 62)
+	for r := 0; r < reps; r++ {
+		seeds[r] = spec.Seed + uint64(r)
+		runSpec := spec
+		runSpec.Seed = seeds[r]
+		start := time.Now()
+		b, err := mcbatch.RunCtx(context.Background(), runSpec)
+		if err != nil {
+			return nil, "", err
+		}
+		if d := time.Since(start); d < localBest {
+			localBest = d
+		}
+		key, err := runSpec.Hash()
+		if err != nil {
+			return nil, "", err
+		}
+		payloads[seeds[r]], err = report.BuildPayload(runSpec, key, b)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	rep.LocalWallNs = localBest.Nanoseconds()
+	rep.LocalNsPerTrial = float64(localBest.Nanoseconds()) / float64(spec.Trials)
+
+	for _, n := range []int{1, 2, 3} {
+		r, err := measureFabricNodes(reps, n, shardTrials, spec, seeds, payloads)
+		if err != nil {
+			return nil, "", err
+		}
+		r.SpeedupVsLocal = float64(rep.LocalWallNs) / float64(r.WallNs)
+		rep.Results = append(rep.Results, r)
+	}
+
+	summary := fmt.Sprintf(
+		"%d trials in %d shards: %.0f/%.0f/%.0f trials/sec at 1/2/3 nodes vs %.0f local (%d cpu, payloads byte-identical)",
+		spec.Trials, rep.Results[0].Shards,
+		rep.Results[0].TrialsPerSec, rep.Results[1].TrialsPerSec, rep.Results[2].TrialsPerSec,
+		1e9/rep.LocalNsPerTrial, rep.NumCPU)
+	return rep, summary, nil
+}

@@ -44,6 +44,12 @@
 //     smoke-scale sides (≤128) also check the mcbatch worker × shard
 //     split. Speedups are bounded by num_cpu (in the header): with 8
 //     shards the ≥3x target needs ≥8 physical cores.
+//   - fabric (BENCH_fabric.json via `make bench-fabric`): the distributed
+//     trial fabric on loopback — N in-process worker daemons behind real
+//     TCP listeners at N in {1, 2, 3}, each fleet's merged result payload
+//     checked byte-for-byte against a single-process run, with per-shard
+//     retry counts and an honest-hardware caveat when all nodes share few
+//     cores (see fabric.go).
 //
 // Arms are interleaved rep by rep and the per-arm minimum is reported, so
 // a background load spike degrades both arms of a rep rather than biasing
@@ -55,7 +61,7 @@
 //
 // Usage:
 //
-//	benchbatch [-suite batch|kernel|zeroone|threshold|bigside] [-out FILE] [-reps 5] [-trials 64]
+//	benchbatch [-suite batch|kernel|zeroone|threshold|bigside|fabric] [-out FILE] [-reps 5] [-trials 64]
 //	           [-sides 256,512,1024] [-shards 1,2,4,8] [-procs N,...]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 package main
@@ -1306,7 +1312,7 @@ func fatal(err error) {
 
 func main() {
 	var (
-		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel, zeroone, threshold or bigside")
+		suite      = flag.String("suite", "batch", "benchmark suite: batch, kernel, zeroone, threshold, bigside or fabric")
 		out        = flag.String("out", "", "output file ('-' for stdout; default BENCH_<suite>.json)")
 		reps       = flag.Int("reps", 5, "interleaved repetitions per arm (minimum is reported)")
 		trials     = flag.Int("trials", 64, "Monte-Carlo trials per rep (kernel suite: count at side 32, bigside: at side 256; scaled by area)")
@@ -1333,6 +1339,8 @@ func main() {
 			*out = "BENCH_threshold.json"
 		case "bigside":
 			*out = "BENCH_bigside.json"
+		case "fabric":
+			*out = "BENCH_fabric.json"
 		}
 	}
 
@@ -1379,8 +1387,10 @@ func main() {
 			os.Exit(2)
 		}
 		rep, summary, err = runBigsideSuite(*reps, *trials, sideList, shardList, procList)
+	case "fabric":
+		rep, summary, err = runFabricSuite(*reps, *trials)
 	default:
-		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel, zeroone, threshold or bigside)\n", *suite)
+		fmt.Fprintf(os.Stderr, "benchbatch: unknown suite %q (want batch, kernel, zeroone, threshold, bigside or fabric)\n", *suite)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -40,15 +40,17 @@ func cmdCampaign(args []string, stdout, stderr io.Writer) int {
 }
 
 // doRaw posts body bytes as-is, preserving the file's exact JSON for the
-// daemon's strict decoder.
+// daemon's strict decoder; transient failures retry like doJSON.
 func doRaw(addr, path string, body []byte) (*http.Response, []byte, error) {
-	resp, err := httpClient().Post("http://"+addr+path, "application/json", strings.NewReader(string(body)))
-	if err != nil {
-		return nil, nil, err
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	return resp, out, err
+	return transport.do(func() (*http.Response, []byte, error) {
+		resp, err := httpClient().Post("http://"+addr+path, "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp, out, err
+	})
 }
 
 func cmdCampaignSubmit(args []string, stdout, stderr io.Writer) int {

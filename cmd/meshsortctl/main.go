@@ -11,6 +11,7 @@
 //	meshsortctl campaign submit -spec grid.json [-await] [-timeout 10m]
 //	meshsortctl campaign status -id c-... [-wait] [-timeout 10m]
 //	meshsortctl campaign export -id c-... [-format json|csv] [-out FILE]
+//	meshsortctl peers [-json]
 //	meshsortctl metrics
 //	meshsortctl health
 //
@@ -50,7 +51,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: meshsortctl <run|submit|await|status|campaign|metrics|health> [flags]")
+	fmt.Fprintln(stderr, "usage: meshsortctl <run|submit|await|status|campaign|peers|metrics|health> [flags]")
 	fmt.Fprintln(stderr, "run 'meshsortctl <command> -h' for the command's flags")
 	return exitUsage
 }
@@ -71,6 +72,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdStatus(rest, stdout, stderr)
 	case "campaign":
 		return cmdCampaign(rest, stdout, stderr)
+	case "peers":
+		return cmdPeers(rest, stdout, stderr)
 	case "metrics":
 		return cmdText(rest, stdout, stderr, "/metrics")
 	case "health":
@@ -115,29 +118,34 @@ func specFlags(fs *flag.FlagSet) func() serve.JobRequest {
 
 func httpClient() *http.Client { return &http.Client{Timeout: 10 * time.Minute} }
 
-// doJSON posts a request body and returns the response with its body read.
+// doJSON posts a request body and returns the response with its body
+// read, retrying transient failures (see retrier).
 func doJSON(addr, path string, body any) (*http.Response, []byte, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return nil, nil, err
 	}
-	resp, err := httpClient().Post("http://"+addr+path, "application/json", strings.NewReader(string(buf)))
-	if err != nil {
-		return nil, nil, err
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	return resp, out, err
+	return transport.do(func() (*http.Response, []byte, error) {
+		resp, err := httpClient().Post("http://"+addr+path, "application/json", strings.NewReader(string(buf)))
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp, out, err
+	})
 }
 
 func get(addr, path string) (*http.Response, []byte, error) {
-	resp, err := httpClient().Get("http://" + addr + path)
-	if err != nil {
-		return nil, nil, err
-	}
-	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
-	return resp, out, err
+	return transport.do(func() (*http.Response, []byte, error) {
+		resp, err := httpClient().Get("http://" + addr + path)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		return resp, out, err
+	})
 }
 
 // fail prints a server error body (JSON {"error": ...} or raw) and maps

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/report"
+)
+
+// cmdPeers prints the daemon's fabric fleet view (GET /v1/peers): the
+// coordinator's run/shard/retry counters and one row per worker with its
+// health, served/failed shard counts and last observed latency. On a
+// daemon started without -peers it reports that no fabric is configured.
+func cmdPeers(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("peers", stderr)
+	asJSON := fs.Bool("json", false, "print the raw peers response instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	resp, body, err := get(*addr, "/v1/peers")
+	if err != nil {
+		fmt.Fprintln(stderr, "meshsortctl:", err)
+		return exitErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fail(stderr, resp, body)
+	}
+	if *asJSON {
+		_, _ = stdout.Write(body)
+		return exitOK
+	}
+	var pr struct {
+		Fabric bool                `json:"fabric"`
+		Stats  *fabric.Stats       `json:"stats"`
+		Peers  []fabric.PeerStatus `json:"peers"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		fmt.Fprintln(stderr, "meshsortctl: bad peers response:", err)
+		return exitErr
+	}
+	if !pr.Fabric {
+		fmt.Fprintln(stdout, "no fabric configured (daemon started without -peers)")
+		return exitOK
+	}
+	if s := pr.Stats; s != nil {
+		fmt.Fprintf(stdout, "runs %d (%d local), shards %d remote / %d local-fallback, retries %d\n\n",
+			s.Runs, s.RunsLocal, s.ShardsRemote, s.ShardsLocal, s.Retries)
+	}
+	tbl := report.NewTable("", "peer", "up", "served", "failed", "latency", "last error")
+	for _, p := range pr.Peers {
+		lat := "-"
+		if p.LastLatencyNs > 0 {
+			lat = time.Duration(p.LastLatencyNs).Round(time.Microsecond).String()
+		}
+		errMsg := p.LastErr
+		if errMsg == "" {
+			errMsg = "-"
+		}
+		tbl.AddRow(p.Addr, fmt.Sprint(p.Up), p.Served, p.Failed, lat, errMsg)
+	}
+	if err := tbl.Render(stdout); err != nil {
+		return exitErr
+	}
+	return exitOK
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// retrier retries the transient failures a meshsortd client meets in
+// practice: connection-level errors (the daemon restarting, a fleet
+// coordinator briefly down) and 5xx responses (draining, queue hiccups
+// behind a proxy). Everything else — 4xx, and notably 429 with its
+// dedicated exitBusy code — passes straight through so the CLI's exit
+// semantics are unchanged. Backoff reuses the fabric coordinator's
+// deterministic equal-jitter schedule, capped so a dead daemon fails the
+// command in a few seconds rather than hanging a script.
+type retrier struct {
+	// attempts is the total number of tries, first call included.
+	attempts int
+	backoff  fabric.Backoff
+	// sleep is swapped for a recording fake in tests.
+	sleep func(time.Duration)
+}
+
+const defaultRetryAttempts = 4
+
+func newRetrier(salt uint64) *retrier {
+	return &retrier{
+		attempts: defaultRetryAttempts,
+		backoff:  fabric.Backoff{Base: 200 * time.Millisecond, Max: 3 * time.Second, Salt: salt},
+		sleep:    time.Sleep,
+	}
+}
+
+// transport is the process-wide retrier behind doJSON, doRaw and get.
+// The wall-clock salt only perturbs retry jitter across concurrent
+// scripted clients; it cannot influence any result byte.
+var transport = newRetrier(uint64(time.Now().UnixNano()))
+
+// do runs f until it returns a non-retryable outcome or attempts are
+// exhausted, backing off between tries. The last response/error is
+// returned either way.
+func (r *retrier) do(f func() (*http.Response, []byte, error)) (*http.Response, []byte, error) {
+	var (
+		resp *http.Response
+		body []byte
+		err  error
+	)
+	for attempt := 0; ; attempt++ {
+		resp, body, err = f()
+		if !retryable(resp, err) || attempt+1 >= r.attempts {
+			return resp, body, err
+		}
+		r.sleep(r.backoff.Delay(0, attempt))
+	}
+}
+
+// retryable reports whether the outcome of one HTTP exchange is worth
+// another try. A transport error (err != nil) means the response never
+// arrived — connection refused while the daemon boots, a reset
+// mid-restart — and is always transient from the client's point of view.
+// With a response in hand, only 5xx qualifies: the request was fine, the
+// server was not.
+func retryable(resp *http.Response, err error) bool {
+	if err != nil {
+		return true
+	}
+	return resp.StatusCode >= http.StatusInternalServerError
+}

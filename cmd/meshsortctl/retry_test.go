@@ -1,0 +1,164 @@
+package main
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// fakeClock records the delays a retrier asked to sleep without actually
+// sleeping, so retry schedules are asserted in microseconds of test time.
+type fakeClock struct {
+	slept []time.Duration
+}
+
+func (c *fakeClock) sleep(d time.Duration) { c.slept = append(c.slept, d) }
+
+func newTestRetrier() (*retrier, *fakeClock) {
+	clk := &fakeClock{}
+	r := newRetrier(7) // fixed salt: the jitter sequence is reproducible
+	r.sleep = clk.sleep
+	return r, clk
+}
+
+// swapTransport points the package-wide helpers at r for one test.
+func swapTransport(t *testing.T, r *retrier) {
+	t.Helper()
+	old := transport
+	transport = r
+	t.Cleanup(func() { transport = old })
+}
+
+func TestRetryRecoversFromTransient5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		_, _ = w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	r, clk := newTestRetrier()
+	swapTransport(t, r)
+	resp, body, err := get(ts.Listener.Addr().String(), "/anything")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("get after transient 503s: resp=%v err=%v", resp, err)
+	}
+	if string(body) != `{"ok":true}` {
+		t.Fatalf("body = %q", body)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two failures + success)", got)
+	}
+	if len(clk.slept) != 2 {
+		t.Fatalf("slept %d times, want 2: %v", len(clk.slept), clk.slept)
+	}
+	// Each delay obeys the equal-jitter envelope [ceil/2, ceil) of the
+	// shared fabric backoff schedule.
+	for attempt, d := range clk.slept {
+		ceil := r.backoff.Base << attempt
+		if d < ceil/2 || d >= ceil {
+			t.Fatalf("delay %d = %v outside [%v, %v)", attempt, d, ceil/2, ceil)
+		}
+	}
+	// And the schedule itself is the deterministic fabric one.
+	want := fabric.Backoff{Base: r.backoff.Base, Max: r.backoff.Max, Salt: 7}
+	for attempt, d := range clk.slept {
+		if d != want.Delay(0, attempt) {
+			t.Fatalf("delay %d = %v, want %v", attempt, d, want.Delay(0, attempt))
+		}
+	}
+}
+
+func TestRetryExhaustsAttemptsOnConnectionRefused(t *testing.T) {
+	// Reserve a port and close it so the dial is refused deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	r, clk := newTestRetrier()
+	swapTransport(t, r)
+	_, _, err = get(addr, "/healthz")
+	if err == nil {
+		t.Fatal("get against a closed port succeeded")
+	}
+	if len(clk.slept) != defaultRetryAttempts-1 {
+		t.Fatalf("slept %d times, want %d (every attempt but the last backs off)",
+			len(clk.slept), defaultRetryAttempts-1)
+	}
+}
+
+func TestRetrySkipsNonRetryableStatuses(t *testing.T) {
+	for _, status := range []int{
+		http.StatusBadRequest,      // caller bug: retrying cannot help
+		http.StatusTooManyRequests, // backpressure keeps its exitBusy contract
+		http.StatusNotFound,
+	} {
+		var calls atomic.Int64
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			calls.Add(1)
+			w.WriteHeader(status)
+		}))
+		r, clk := newTestRetrier()
+		swapTransport(t, r)
+		resp, _, err := get(ts.Listener.Addr().String(), "/x")
+		ts.Close()
+		if err != nil || resp.StatusCode != status {
+			t.Fatalf("status %d: resp=%v err=%v", status, resp, err)
+		}
+		if calls.Load() != 1 || len(clk.slept) != 0 {
+			t.Fatalf("status %d: %d calls and %d sleeps, want exactly one call and none",
+				status, calls.Load(), len(clk.slept))
+		}
+	}
+}
+
+func TestRetryReturnsLastResponseWhenExhausted(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		http.Error(w, "still draining", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	r, clk := newTestRetrier()
+	swapTransport(t, r)
+	resp, body, err := doJSON(ts.Listener.Addr().String(), "/v1/sort", map[string]int{"trials": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want the final 503 surfaced", resp.StatusCode)
+	}
+	if calls.Load() != defaultRetryAttempts {
+		t.Fatalf("server saw %d calls, want all %d attempts", calls.Load(), defaultRetryAttempts)
+	}
+	if len(clk.slept) != defaultRetryAttempts-1 {
+		t.Fatalf("slept %d times, want %d", len(clk.slept), defaultRetryAttempts-1)
+	}
+	if len(body) == 0 {
+		t.Fatal("final response body was dropped")
+	}
+}
+
+func TestRetryDoesNotCoverEncodingErrors(t *testing.T) {
+	r, clk := newTestRetrier()
+	swapTransport(t, r)
+	_, _, err := doJSON("127.0.0.1:0", "/v1/sort", make(chan int))
+	if err == nil {
+		t.Fatal("marshaling a channel succeeded")
+	}
+	if len(clk.slept) != 0 {
+		t.Fatalf("a request-encoding error was retried %d times", len(clk.slept))
+	}
+}

@@ -9,10 +9,21 @@
 //	          [-concurrency 2] [-queue 64] [-trial-workers 0]
 //	          [-job-timeout 60s] [-cache 512] [-max-trials N] [-max-cells N]
 //	          [-store DIR] [-campaign-concurrency 1]
+//	          [-peers host:p1,host:p2] [-fabric-min-trials 256]
+//	          [-fabric-shard-trials 0] [-fabric-attempts 3]
 //	          [-drain-timeout 2m] [-drain-grace 500ms] [-log-level info]
 //
 // With -addr host:0 the kernel picks a free port; -portfile writes the
 // bound port as decimal text so scripts (make serve-smoke) can find it.
+//
+// With -peers the daemon coordinates a distributed trial fabric
+// (internal/fabric): jobs and campaign cells with at least
+// -fabric-min-trials trials are split into contiguous shards and fanned
+// out across the listed worker daemons, with retry/requeue on peer
+// failure and local fallback when the fleet is unreachable. Results are
+// bit-identical to a single-node run, so the cache, store, and payload
+// bytes are unaffected. Every daemon is always a fabric worker: the
+// /v1/fabric/shard endpoint serves shards whether or not -peers is set.
 //
 // With -store DIR the daemon opens the durable content-addressed result
 // store (internal/store) in DIR: executed payloads persist write-behind,
@@ -39,9 +50,11 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -67,6 +80,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		maxCells     = fs.Int("max-cells", 0, "largest rows*cols a job may request (0 = default)")
 		storeDir     = fs.String("store", "", "durable result-store directory (empty = memory-only, no campaigns)")
 		campaignConc = fs.Int("campaign-concurrency", 0, "campaign cells in flight at once (0 = default 1)")
+		peers        = fs.String("peers", "", "comma-separated worker daemons to fan trials out to (empty = no fabric)")
+		fabricMin    = fs.Int("fabric-min-trials", 0, "smallest job routed through the fabric (0 = default 256)")
+		fabricShard  = fs.Int("fabric-shard-trials", 0, "trials per fabric shard, rounded up to 64 (0 = auto)")
+		fabricTries  = fs.Int("fabric-attempts", 0, "remote attempts per shard before local fallback (0 = default 3)")
 		drainTimeout = fs.Duration("drain-timeout", 2*time.Minute, "bound on waiting for in-flight jobs at shutdown")
 		drainGrace   = fs.Duration("drain-grace", 500*time.Millisecond, "listener grace after drain so pollers fetch results")
 		logLevel     = fs.String("log-level", "info", "log level: debug, info, warn or error")
@@ -102,6 +119,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			"recovered_bytes", stats.RecoveredBytes)
 	}
 
+	var coord *fabric.Coordinator
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		coord = fabric.New(fabric.Config{
+			Peers:       peerList,
+			ShardTrials: *fabricShard,
+			MaxAttempts: *fabricTries,
+			Logger:      logger,
+		})
+		defer coord.Close()
+		logger.Info("fabric coordinator up", "peers", len(peerList))
+	}
+
 	srv := serve.NewServer(serve.Config{
 		Concurrency:         *concurrency,
 		QueueDepth:          *queue,
@@ -112,6 +147,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Store:               st,
 		CampaignConcurrency: *campaignConc,
 		Logger:              logger,
+		Fabric:              coord,
+		FabricMinTrials:     *fabricMin,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -61,6 +61,13 @@ type Runner struct {
 	// OnCell, when set, observes each cell's outcome as it completes.
 	// Called concurrently from worker goroutines.
 	OnCell func(i int, c Cell, outcome CellOutcome)
+	// Execute, when set, replaces mcbatch.RunCtx as the batch executor —
+	// the hook the daemon uses to route large cells through the
+	// distributed fabric (internal/fabric). Any implementation must
+	// return a Batch bit-identical to mcbatch.RunCtx for the same Spec
+	// (the fabric coordinator guarantees this), or stored payloads stop
+	// being placement-independent.
+	Execute func(ctx context.Context, spec mcbatch.Spec) (*mcbatch.Batch, error)
 }
 
 // Run executes cells until all are stored or ctx is cancelled. It
@@ -81,6 +88,10 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
 	if concurrency <= 0 {
 		concurrency = 1
 	}
+	execute := r.Execute
+	if execute == nil {
+		execute = mcbatch.RunCtx
+	}
 	outcomes, err := mcbatch.MapCtx(ctx, concurrency, len(cells), func(i int) (CellOutcome, error) {
 		c := cells[i]
 		if r.Store.Has(c.Key) {
@@ -97,7 +108,7 @@ func (r *Runner) Run(ctx context.Context, cells []Cell) (Progress, error) {
 			cellCtx, cancel = context.WithTimeout(ctx, r.CellTimeout)
 			defer cancel()
 		}
-		b, err := mcbatch.RunCtx(cellCtx, spec)
+		b, err := execute(cellCtx, spec)
 		if err != nil {
 			return 0, fmt.Errorf("campaign: cell %d (%s): %w", i, c, err)
 		}

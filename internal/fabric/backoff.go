@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Backoff computes per-attempt retry delays: exponential doubling from
+// Base, capped at Max, with "equal jitter" — the delay is drawn from
+// [cap/2, cap) so retries never synchronize across shards but still
+// respect the exponential floor.
+//
+// The jitter is deterministic: it hashes (Salt, shard offset, attempt)
+// through splitmix64 instead of consulting a global RNG or the clock.
+// That keeps the detrand rule intact (no ambient randomness in internal
+// packages), makes the schedule unit-testable as plain data, and costs
+// nothing — distinct shards and attempts still land on well-spread
+// delays.
+type Backoff struct {
+	// Base is the first attempt's delay cap; 0 means 100ms.
+	Base time.Duration
+	// Max caps the exponential growth; 0 means 5s.
+	Max time.Duration
+	// Salt decorrelates the jitter of different coordinators (e.g. two
+	// daemons retrying against the same fleet).
+	Salt uint64
+}
+
+// Delay returns the pause before retry number `attempt` (0-based: the
+// delay after the first failure is Delay(shard, 0)) of the shard starting
+// at trial offset `shard`.
+func (b Backoff) Delay(shard, attempt int) time.Duration {
+	base := b.Base
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half < 1 {
+		return d
+	}
+	seed := b.Salt ^ uint64(shard)<<20 ^ uint64(attempt)
+	h := rng.NewSplitMix64(seed).Uint64()
+	return half + time.Duration(h%uint64(half))
+}

@@ -1,0 +1,60 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	for shard := 0; shard < 3; shard++ {
+		for attempt := 0; attempt < 6; attempt++ {
+			d1 := b.Delay(shard*640, attempt)
+			d2 := b.Delay(shard*640, attempt)
+			if d1 != d2 {
+				t.Fatalf("Delay(%d,%d) not deterministic: %v vs %v", shard*640, attempt, d1, d2)
+			}
+		}
+	}
+}
+
+func TestBackoffEnvelope(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := 100 * time.Millisecond << attempt
+		if ceil > 2*time.Second || ceil <= 0 {
+			ceil = 2 * time.Second
+		}
+		for shard := 0; shard < 16; shard++ {
+			d := b.Delay(shard*64, attempt)
+			if d < ceil/2 || d >= ceil {
+				t.Fatalf("Delay(%d,%d) = %v outside equal-jitter envelope [%v,%v)",
+					shard*64, attempt, d, ceil/2, ceil)
+			}
+		}
+	}
+}
+
+func TestBackoffJitterSpreadsShards(t *testing.T) {
+	// Different shards must not retry in lockstep: at attempt 0 the 64
+	// canonical shard offsets should land on many distinct delays.
+	b := Backoff{Base: 100 * time.Millisecond, Max: 5 * time.Second}
+	seen := map[time.Duration]bool{}
+	for shard := 0; shard < 64; shard++ {
+		seen[b.Delay(shard*64, 0)] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("64 shards share only %d distinct first-retry delays", len(seen))
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	d := b.Delay(0, 0)
+	if d < 50*time.Millisecond || d >= 100*time.Millisecond {
+		t.Fatalf("zero-value Backoff first delay %v, want within [50ms,100ms)", d)
+	}
+	if d := b.Delay(0, 20); d >= 5*time.Second || d < 2500*time.Millisecond {
+		t.Fatalf("zero-value Backoff capped delay %v, want within [2.5s,5s)", d)
+	}
+}

@@ -1,0 +1,20 @@
+package fabric
+
+// The fabric's only window onto the wall clock, mirroring
+// internal/serve/clock.go: the detrand analyzer forbids time.Now/Since in
+// internal packages because wall-clock input breaks the bit-identical-
+// results contract, but the coordinator legitimately needs durations for
+// the per-peer latency metrics. Structurally contained: every wall-clock
+// read lives here, and nothing here can reach a result payload (shard
+// results are decoded purely from worker JSON and cross-checked against
+// the deterministic aggregation contract).
+//
+//meshlint:file-exempt detrand observability timing only: durations feed the per-peer latency metrics, never shard results
+
+import "time"
+
+// monoNow returns an opaque monotonic timestamp for duration measurement.
+func monoNow() time.Time { return time.Now() }
+
+// monoSince returns the nanoseconds elapsed since a monoNow timestamp.
+func monoSince(t time.Time) int64 { return int64(time.Since(t)) }

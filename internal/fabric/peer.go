@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// peer is one worker node of the fleet, with its health state and
+// counters. Dispatch failures mark a peer down; the coordinator's probe
+// loop revives it when /healthz answers again, so a restarted worker
+// rejoins the fleet without operator action.
+type peer struct {
+	// addr is the normalized base URL, e.g. "http://127.0.0.1:7070".
+	addr string
+
+	mu      sync.Mutex
+	up      bool   // guarded by mu
+	lastErr string // guarded by mu
+
+	served    atomic.Int64 // shards completed on this peer
+	failed    atomic.Int64 // dispatch attempts that errored
+	latencyNs atomic.Int64 // last successful shard round-trip
+}
+
+// normalizePeer turns a flag-style peer address into a base URL.
+func normalizePeer(addr string) string {
+	addr = strings.TrimRight(strings.TrimSpace(addr), "/")
+	if addr == "" {
+		return ""
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return addr
+}
+
+func (p *peer) healthy() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up
+}
+
+func (p *peer) markDown(err error) {
+	p.failed.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.up = false
+	if err != nil {
+		p.lastErr = err.Error()
+	}
+}
+
+func (p *peer) markUp() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.up = true
+	p.lastErr = ""
+}
+
+// PeerStatus is an observability snapshot of one fleet member, served by
+// the daemon's /v1/peers endpoint and the fabric /metrics families.
+type PeerStatus struct {
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	// Served counts shards this peer completed; Failed counts dispatch
+	// attempts that errored (each such shard was requeued elsewhere).
+	Served int64 `json:"served"`
+	Failed int64 `json:"failed"`
+	// LastLatencyNs is the round-trip of the peer's most recent
+	// completed shard, 0 before the first one.
+	LastLatencyNs int64  `json:"last_latency_ns"`
+	LastErr       string `json:"last_err,omitempty"`
+}
+
+func (p *peer) status() PeerStatus {
+	st := PeerStatus{
+		Addr:          p.addr,
+		Served:        p.served.Load(),
+		Failed:        p.failed.Load(),
+		LastLatencyNs: p.latencyNs.Load(),
+	}
+	p.mu.Lock()
+	st.Up = p.up
+	st.LastErr = p.lastErr
+	p.mu.Unlock()
+	return st
+}
+
+// probe asks the peer's /healthz and updates its health state; a
+// successful shard dispatch also revives a peer (see dispatch).
+func (p *peer) probe(ctx context.Context, client *http.Client) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.addr+"/healthz", nil)
+	if err != nil {
+		p.markDown(err)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		p.mu.Lock()
+		p.up = false
+		p.lastErr = err.Error()
+		p.mu.Unlock()
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		p.markUp()
+	}
+}

@@ -1,0 +1,61 @@
+package fabric
+
+// sliceTrials is the fixed aggregation block size shared with mcbatch:
+// per-trial step counts fold into one Welford accumulator per 64-trial
+// slice. Shard boundaries must land on multiples of it (except the final
+// ragged shard) so that the concatenation of per-shard slice lists is
+// exactly the unsplit slice list.
+const sliceTrials = 64
+
+// Shard is one contiguous sub-range of a Spec's local trial indices:
+// trials [Offset, Offset+Trials) of the batch being distributed.
+type Shard struct {
+	Offset int
+	Trials int
+}
+
+// PlanShards splits a batch of trials into contiguous shards of
+// shardTrials each (the last one ragged). shardTrials is rounded up to a
+// multiple of 64 — the aggregation slice size — so every shard except the
+// last covers whole slices and the per-shard Welford partial lists
+// concatenate to the unsplit list. shardTrials <= 0 asks for the
+// automatic size from AutoShardTrials with one target per call site.
+func PlanShards(trials, shardTrials int) []Shard {
+	if trials <= 0 {
+		return nil
+	}
+	if shardTrials <= 0 {
+		shardTrials = sliceTrials
+	}
+	if r := shardTrials % sliceTrials; r != 0 {
+		shardTrials += sliceTrials - r
+	}
+	shards := make([]Shard, 0, (trials+shardTrials-1)/shardTrials)
+	for off := 0; off < trials; off += shardTrials {
+		n := shardTrials
+		if off+n > trials {
+			n = trials - off
+		}
+		shards = append(shards, Shard{Offset: off, Trials: n})
+	}
+	return shards
+}
+
+// AutoShardTrials picks a shard size for a batch fanned out over `peers`
+// nodes: about four shards per peer — enough granularity that a slow or
+// dead peer only strands a small fraction of the sweep for requeueing,
+// without drowning the fleet in per-shard HTTP overhead — rounded up to
+// the 64-trial aggregation slice.
+func AutoShardTrials(trials, peers int) int {
+	if peers < 1 {
+		peers = 1
+	}
+	per := (trials + 4*peers - 1) / (4 * peers)
+	if per < sliceTrials {
+		return sliceTrials
+	}
+	if r := per % sliceTrials; r != 0 {
+		per += sliceTrials - r
+	}
+	return per
+}

@@ -33,7 +33,8 @@ var CtxFlow = &Analyzer{
 	Targets: func(path string) bool {
 		switch path {
 		case "repro/internal/serve", "repro/internal/mcbatch",
-			"repro/internal/store", "repro/internal/campaign":
+			"repro/internal/store", "repro/internal/campaign",
+			"repro/internal/fabric":
 			return true
 		}
 		return false

@@ -39,7 +39,15 @@ const hashVersion = "mcbatch/spec/v1\x00"
 //   - Stream is folded as the resolved per-trial stream ids (the only
 //     values a Run can observe), so a nil Stream and an override that
 //     reproduces DefaultStream hash the same, while any override that
-//     deviates on some trial index < Trials hashes differently.
+//     deviates on some trial index hashes differently.
+//   - TrialOffset is folded through the stream ids, not as a field: the
+//     ids of the global trials [TrialOffset, TrialOffset+Trials) are what
+//     get hashed. A trial's result depends only on (Seed, stream id), so
+//     two Specs whose resolved id sequences coincide — e.g. different
+//     offsets under a constant Stream — genuinely produce identical
+//     Batches and correctly share a key, while under DefaultStream every
+//     distinct offset selects distinct ids and therefore a distinct key.
+//     Offset-zero Specs hash exactly as before this field existed.
 //   - Workers, Kernel, and Shards are excluded: the determinism contract
 //     (pinned by the mcbatch and engine differential suites) makes results
 //     bit-identical under every worker count, executor family, and
@@ -57,6 +65,9 @@ func (s Spec) Hash() (Key, error) {
 	}
 	if s.Rows < 1 || s.Cols < 1 {
 		return Key{}, fmt.Errorf("mcbatch: invalid mesh %dx%d", s.Rows, s.Cols)
+	}
+	if s.TrialOffset < 0 {
+		return Key{}, fmt.Errorf("mcbatch: negative trial offset %d", s.TrialOffset)
 	}
 
 	h := sha256.New()
@@ -87,7 +98,7 @@ func (s Spec) Hash() (Key, error) {
 		stream = DefaultStream(s.Algorithm, s.Rows)
 	}
 	for i := 0; i < s.Trials; i++ {
-		putU64(stream(i))
+		putU64(stream(s.TrialOffset + i))
 	}
 
 	var k Key

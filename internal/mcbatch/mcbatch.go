@@ -128,6 +128,18 @@ type Spec struct {
 	Rows, Cols int
 	// Trials is the number of independent trials, K.
 	Trials int
+	// TrialOffset shifts the batch's trial indices: the batch runs the
+	// global trials [TrialOffset, TrialOffset+Trials) of the logical
+	// experiment, deriving each trial's RNG stream (and custom-Gen index)
+	// from its global index. The zero value runs [0, Trials) — the whole
+	// experiment — so existing Specs are unchanged. A distributed
+	// coordinator (internal/fabric) splits one logical Spec into
+	// contiguous sub-Specs that differ only in TrialOffset/Trials;
+	// because trial i's result depends only on (Seed, Stream(i)), the
+	// concatenation of the shard results in offset order is bit-identical
+	// to the unsplit run. TrialOffset participates in Spec.Hash exactly
+	// through the per-trial stream ids it selects (see Hash).
+	TrialOffset int
 	// Seed is the master seed; every trial derives its own PCG stream
 	// from (Seed, Stream(trial)).
 	Seed uint64
@@ -225,9 +237,20 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 	if spec.Rows < 1 || spec.Cols < 1 {
 		return nil, fmt.Errorf("mcbatch: invalid mesh %dx%d", spec.Rows, spec.Cols)
 	}
+	if spec.TrialOffset < 0 {
+		return nil, fmt.Errorf("mcbatch: negative trial offset %d", spec.TrialOffset)
+	}
 	stream := spec.Stream
 	if stream == nil {
 		stream = DefaultStream(spec.Algorithm, spec.Rows)
+	}
+	if off := spec.TrialOffset; off > 0 {
+		// Shift the batch onto its global trial range. Runners keep
+		// addressing trials by local index [0, Trials); only the derived
+		// stream ids (and a custom Gen's trial argument, below) see the
+		// global index, which is all a trial's result can depend on.
+		base := stream
+		stream = func(trial int) uint64 { return base(off + trial) }
 	}
 	seed := CanonicalSeed(spec.Seed)
 
@@ -250,7 +273,7 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 			genInto(src, buf)
 			return buf, nil
 		}
-		g := gen(src, i)
+		g := gen(src, spec.TrialOffset+i)
 		if g.Rows() != spec.Rows || g.Cols() != spec.Cols {
 			return nil, fmt.Errorf("mcbatch: Gen produced a %dx%d grid for a %dx%d batch",
 				g.Rows(), g.Cols(), spec.Rows, spec.Cols)
@@ -281,10 +304,16 @@ func RunCtx(ctx context.Context, spec Spec) (*Batch, error) {
 	}
 	trials, err := run(ctx, spec, seed, stream, makeInput)
 	if err != nil {
+		if spec.TrialOffset > 0 {
+			// Runner errors name trials by local index; anchor the shard so
+			// a distributed failure is attributable to its global range.
+			return nil, fmt.Errorf("mcbatch: shard [%d,%d): %w",
+				spec.TrialOffset, spec.TrialOffset+spec.Trials, err)
+		}
 		return nil, err
 	}
 	b := &Batch{Trials: trials, Kernel: kern, Shards: shards}
-	b.Steps = aggregateSteps(trials)
+	b.Steps = AggregateSteps(trials)
 	return b, nil
 }
 
@@ -581,13 +610,16 @@ func runSliced(ctx context.Context, spec Spec, seed uint64, stream func(int) uin
 	return trials, nil
 }
 
-// aggregateSteps folds the per-trial step counts into one Welford
-// accumulator per fixed 64-trial slice and merges the slices in index
-// order. The partition depends only on trial indices — never on the
-// worker count or kernel family — so the floating-point aggregate is
-// bit-identical for every execution strategy, which is what keeps the
-// daemon's content-addressed result payloads byte-stable.
-func aggregateSteps(trials []Trial) stats.Welford {
+// SliceWelfords folds the per-trial step counts into one Welford
+// accumulator per fixed 64-trial slice, in slice order. The partition
+// depends only on trial indices — never on the worker count or kernel
+// family — so the slice list is bit-identical for every execution
+// strategy. These partials are the unit of distributed aggregation: a
+// fabric shard whose trial range is 64-aligned produces exactly the
+// slices of its range, so concatenating shard partials in offset order
+// reconstructs the unsplit slice list (pinned by the stats merge golden
+// test and docs/INVARIANTS.md "Placement independence").
+func SliceWelfords(trials []Trial) []stats.Welford {
 	parts := make([]stats.Welford, 0, (len(trials)+63)/64)
 	for lo := 0; lo < len(trials); lo += 64 {
 		hi := min(lo+64, len(trials))
@@ -597,5 +629,15 @@ func aggregateSteps(trials []Trial) stats.Welford {
 		}
 		parts = append(parts, w)
 	}
-	return stats.MergeAll(parts)
+	return parts
+}
+
+// AggregateSteps merges the per-slice partials of SliceWelfords in slice
+// order. The fold order is fixed, so the floating-point aggregate is
+// deterministic for every execution strategy — including a distributed
+// run that concatenates 64-aligned shard partials before this one fold —
+// which is what keeps the daemon's content-addressed result payloads
+// byte-stable.
+func AggregateSteps(trials []Trial) stats.Welford {
+	return stats.MergeAll(SliceWelfords(trials))
 }

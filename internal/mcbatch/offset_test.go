@@ -1,0 +1,149 @@
+package mcbatch
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// welfordBits flattens an accumulator's exact state for bit-level
+// comparison: exactly equal floats, not merely close ones.
+func welfordBits(w stats.Welford) [5]uint64 {
+	n, mean, m2, lo, hi := w.State()
+	return [5]uint64{uint64(n), math.Float64bits(mean), math.Float64bits(m2),
+		math.Float64bits(lo), math.Float64bits(hi)}
+}
+
+// TestTrialOffsetIsSubrangeOfLargerRun pins the contract a fabric shard
+// depends on: a Spec with TrialOffset o and Trials k reproduces exactly
+// trials [o, o+k) of the unsplit run — same per-trial results, because
+// trial identity is the global stream id, not the position in the batch.
+func TestTrialOffsetIsSubrangeOfLargerRun(t *testing.T) {
+	for _, spec := range []Spec{
+		{Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 192, Seed: 42},
+		{Algorithm: core.SnakeB, Rows: 8, Cols: 8, Trials: 192, Seed: 42, ZeroOne: true},
+	} {
+		full, err := RunCtx(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := spec
+		sub.TrialOffset = 64
+		sub.Trials = 64
+		got, err := RunCtx(context.Background(), sub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := full.Trials[64:128]; !reflect.DeepEqual(got.Trials, want) {
+			t.Fatalf("zeroone=%v: offset run %v != full run's [64:128) %v", spec.ZeroOne, got.Trials, want)
+		}
+	}
+}
+
+// TestTrialOffsetSplitMergesBitIdentically is the coordinator's merge
+// contract in miniature: split a trial range at 64-aligned boundaries,
+// run the parts as offset Specs, and both the concatenated trial lists
+// and the MergeAll of the parts' Steps accumulators must be bit-identical
+// to the unsplit run — for every 64-aligned 2..5-way split.
+func TestTrialOffsetSplitMergesBitIdentically(t *testing.T) {
+	spec := Spec{Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 320, Seed: 7}
+	full, err := RunCtx(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runPart := func(offset, trials int) *Batch {
+		t.Helper()
+		part := spec
+		part.TrialOffset = offset
+		part.Trials = trials
+		b, err := RunCtx(context.Background(), part)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	// cuts enumerates every strictly increasing sequence of 64-aligned
+	// interior boundaries, one recursion level per extra part.
+	var splits [][]int
+	var build func(prefix []int, from int, parts int)
+	build = func(prefix []int, from, parts int) {
+		if parts == 1 {
+			splits = append(splits, append(append([]int{}, prefix...), spec.Trials))
+			return
+		}
+		for cut := from + 64; cut <= spec.Trials-64*(parts-1); cut += 64 {
+			build(append(prefix, cut), cut, parts-1)
+		}
+	}
+	for parts := 2; parts <= 5; parts++ {
+		build(nil, 0, parts)
+	}
+	if len(splits) == 0 {
+		t.Fatal("no splits enumerated")
+	}
+	for _, ends := range splits {
+		var all []Trial
+		var partials []stats.Welford
+		start := 0
+		for _, end := range ends {
+			b := runPart(start, end-start)
+			all = append(all, b.Trials...)
+			partials = append(partials, SliceWelfords(b.Trials)...)
+			start = end
+		}
+		if !reflect.DeepEqual(all, full.Trials) {
+			t.Fatalf("split %v: concatenated trials differ from the unsplit run", ends)
+		}
+		merged := stats.MergeAll(partials)
+		if welfordBits(merged) != welfordBits(full.Steps) {
+			t.Fatalf("split %v: merged Steps %+v not bit-identical to unsplit %+v", ends, merged, full.Steps)
+		}
+	}
+}
+
+// TestHashTrialOffset pins how the offset enters the content address:
+// through the global stream ids, not a separate field. Offset zero is
+// the historical encoding (golden vectors unchanged), a nonzero offset
+// is a different result range and must key differently, and adjacent
+// shards never collide.
+func TestHashTrialOffset(t *testing.T) {
+	base := Spec{Algorithm: core.SnakeA, Rows: 8, Cols: 8, Trials: 64, Seed: 7}
+	zero := base
+	zero.TrialOffset = 0
+	kBase, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kZero, err := zero.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kBase != kZero {
+		t.Fatalf("explicit zero offset changed the key: %s vs %s", kZero, kBase)
+	}
+	seen := map[Key]int{kBase: 0}
+	for _, off := range []int{64, 128, 192} {
+		s := base
+		s.TrialOffset = off
+		k, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("offsets %d and %d share key %s", prev, off, k)
+		}
+		seen[k] = off
+	}
+	neg := base
+	neg.TrialOffset = -1
+	if _, err := neg.Hash(); err == nil {
+		t.Fatal("negative TrialOffset hashed without error")
+	}
+	if _, err := RunCtx(context.Background(), neg); err == nil {
+		t.Fatal("negative TrialOffset ran without error")
+	}
+}

@@ -20,9 +20,14 @@ type SpecJSON struct {
 	Rows      int    `json:"rows"`
 	Cols      int    `json:"cols"`
 	Trials    int    `json:"trials"`
-	Seed      uint64 `json:"seed"`
-	MaxSteps  int    `json:"max_steps,omitempty"`
-	ZeroOne   bool   `json:"zeroone,omitempty"`
+	// TrialOffset is the global index of the batch's first trial: non-zero
+	// exactly for fabric shards, which run [TrialOffset, TrialOffset+Trials)
+	// of a larger experiment. Omitted when zero, so whole-experiment
+	// payloads keep their pre-fabric bytes.
+	TrialOffset int    `json:"trial_offset,omitempty"`
+	Seed        uint64 `json:"seed"`
+	MaxSteps    int    `json:"max_steps,omitempty"`
+	ZeroOne     bool   `json:"zeroone,omitempty"`
 	// Kernel, Workers, and Shards are execution hints: they cannot change
 	// results (the determinism contract) and are excluded from the cache
 	// key, but bench records keep them because they explain the timings.
@@ -37,16 +42,17 @@ type SpecJSON struct {
 // should use CanonicalSpecOf.
 func SpecOf(s mcbatch.Spec) SpecJSON {
 	return SpecJSON{
-		Algorithm: s.Algorithm.ShortName(),
-		Rows:      s.Rows,
-		Cols:      s.Cols,
-		Trials:    s.Trials,
-		Seed:      s.Seed,
-		MaxSteps:  s.MaxSteps,
-		ZeroOne:   s.ZeroOne,
-		Kernel:    core.KernelName(s.Kernel),
-		Workers:   s.Workers,
-		Shards:    s.Shards,
+		Algorithm:   s.Algorithm.ShortName(),
+		Rows:        s.Rows,
+		Cols:        s.Cols,
+		Trials:      s.Trials,
+		TrialOffset: s.TrialOffset,
+		Seed:        s.Seed,
+		MaxSteps:    s.MaxSteps,
+		ZeroOne:     s.ZeroOne,
+		Kernel:      core.KernelName(s.Kernel),
+		Workers:     s.Workers,
+		Shards:      s.Shards,
 	}
 }
 
@@ -58,12 +64,13 @@ func SpecOf(s mcbatch.Spec) SpecJSON {
 // which submission populated the cache.
 func CanonicalSpecOf(s mcbatch.Spec) SpecJSON {
 	return SpecJSON{
-		Algorithm: s.Algorithm.ShortName(),
-		Rows:      s.Rows,
-		Cols:      s.Cols,
-		Trials:    s.Trials,
-		Seed:      mcbatch.CanonicalSeed(s.Seed),
-		MaxSteps:  mcbatch.CanonicalMaxSteps(s.MaxSteps, s.Rows, s.Cols),
-		ZeroOne:   s.ZeroOne,
+		Algorithm:   s.Algorithm.ShortName(),
+		Rows:        s.Rows,
+		Cols:        s.Cols,
+		Trials:      s.Trials,
+		TrialOffset: s.TrialOffset,
+		Seed:        mcbatch.CanonicalSeed(s.Seed),
+		MaxSteps:    mcbatch.CanonicalMaxSteps(s.MaxSteps, s.Rows, s.Cols),
+		ZeroOne:     s.ZeroOne,
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/mcbatch"
 )
 
 // campaignState is the lifecycle of a daemon-run campaign:
@@ -162,6 +163,14 @@ func (s *Server) runCampaign(c *Campaign, cells []campaign.Cell) {
 		Concurrency:  s.cfg.CampaignConcurrency,
 		TrialWorkers: s.cfg.TrialWorkers,
 		CellTimeout:  s.cfg.JobTimeout,
+		// Route cells through the daemon's batch executor, so a
+		// configured fabric fans large cells out across the fleet; the
+		// coordinator's bit-identity contract keeps stored payloads
+		// placement-independent.
+		Execute: func(ctx context.Context, spec mcbatch.Spec) (*mcbatch.Batch, error) {
+			b, _, err := s.execBatch(ctx, spec)
+			return b, err
+		},
 		OnCell: func(_ int, _ campaign.Cell, o campaign.CellOutcome) {
 			c.observe(o)
 			if o == campaign.CellSkipped {

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+)
+
+// newFleet starts n worker daemons and a coordinator daemon whose fabric
+// fans jobs out across them.
+func newFleet(t *testing.T, n int, minTrials int) (*Server, string) {
+	t.Helper()
+	var peers []string
+	for i := 0; i < n; i++ {
+		_, ts := newTestServer(t, Config{Concurrency: 2})
+		peers = append(peers, ts.URL)
+	}
+	coord := fabric.New(fabric.Config{
+		Peers:          peers,
+		ShardTrials:    64,
+		ProbeInterval:  20 * time.Millisecond,
+		RequestTimeout: 30 * time.Second,
+	})
+	t.Cleanup(coord.Close)
+	s, ts := newTestServer(t, Config{Concurrency: 2, Fabric: coord, FabricMinTrials: minTrials})
+	return s, ts.URL
+}
+
+const fabricJobBody = `{"algorithm":"snake-b","side":8,"trials":320,"seed":7}`
+
+func TestFabricSortMatchesSingleNode(t *testing.T) {
+	_, local := newTestServer(t, Config{})
+	resp, want := postJSON(t, local.URL+"/v1/sort", fabricJobBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-node sort: %d %s", resp.StatusCode, want)
+	}
+	for _, nodes := range []int{1, 2, 3} {
+		_, coordURL := newFleet(t, nodes, 64)
+		resp, got := postJSON(t, coordURL+"/v1/sort", fabricJobBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%d-node sort: %d %s", nodes, resp.StatusCode, got)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%d-node payload differs from single-node run:\n%s\nvs\n%s", nodes, got, want)
+		}
+	}
+}
+
+func TestFabricJobReportsFabricKernel(t *testing.T) {
+	s, coordURL := newFleet(t, 2, 64)
+	resp, body := postJSON(t, coordURL+"/v1/jobs", fabricJobBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var sub submitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	resp, body = getBody(t, coordURL+"/v1/jobs/"+sub.ID+"?wait=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d %s", resp.StatusCode, body)
+	}
+	var st statusResponse
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "done" || st.Kernel != fabricKernelLabel {
+		t.Fatalf("status %+v, want done via the fabric", st)
+	}
+	if got := s.cfg.Fabric.Stats(); got.ShardsRemote == 0 {
+		t.Fatalf("coordinator stats %+v, want remote shards", got)
+	}
+	_, metrics := getBody(t, coordURL+"/metrics")
+	for _, want := range []string{
+		`meshsortd_jobs_by_kernel_total{kernel="fabric"} 1`,
+		`meshsortd_fabric_shards_total{status="remote"} 5`,
+		`meshsortd_fabric_runs_total{mode="distributed"} 1`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+}
+
+func TestFabricSmallJobsStayLocal(t *testing.T) {
+	_, coordURL := newFleet(t, 2, 256)
+	resp, body := postJSON(t, coordURL+"/v1/sort", `{"algorithm":"snake-b","side":8,"trials":128,"seed":7}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sort: %d %s", resp.StatusCode, body)
+	}
+	_, metrics := getBody(t, coordURL+"/metrics")
+	if !strings.Contains(string(metrics), `meshsortd_jobs_by_kernel_total{kernel="fabric"} 0`) {
+		t.Fatal("a sub-threshold job was routed through the fabric")
+	}
+}
+
+func TestFabricShardEndpoint(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	ts := srv.URL
+	body := `{"algorithm":"snake-b","rows":8,"cols":8,"trials":64,"trial_offset":128,"seed":7}`
+	resp, buf := postJSON(t, ts+"/v1/fabric/shard", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard: %d %s", resp.StatusCode, buf)
+	}
+	var sr fabric.ShardResponse
+	if err := json.Unmarshal(buf, &sr); err != nil {
+		t.Fatal(err)
+	}
+	var req fabric.ShardRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := req.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := spec.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sr.Decode(key.String(), 64); err != nil {
+		t.Fatalf("worker shard response rejected: %v", err)
+	}
+	// Second request is served from the shard cache, byte-identically.
+	resp, buf2 := postJSON(t, ts+"/v1/fabric/shard", body)
+	if resp.Header.Get("X-Meshsort-Cache") != "hit" {
+		t.Fatal("repeated shard request missed the shard cache")
+	}
+	if string(buf2) != string(buf) {
+		t.Fatal("cached shard response differs from the executed one")
+	}
+}
+
+// TestShardCacheIsolatedFromResultCache pins the encoding-collision
+// guard: a shard spanning a Spec's whole range shares its content
+// address with the equivalent job, and each surface must keep serving
+// its own encoding.
+func TestShardCacheIsolatedFromResultCache(t *testing.T) {
+	_, srv := newTestServer(t, Config{})
+	ts := srv.URL
+	job := `{"algorithm":"snake-b","side":8,"trials":64,"seed":7}`
+	resp, payload := postJSON(t, ts+"/v1/sort", job)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sort: %d %s", resp.StatusCode, payload)
+	}
+	shard := `{"algorithm":"snake-b","rows":8,"cols":8,"trials":64,"trial_offset":0,"seed":7}`
+	resp, sbuf := postJSON(t, ts+"/v1/fabric/shard", shard)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shard: %d %s", resp.StatusCode, sbuf)
+	}
+	var pl map[string]any
+	if err := json.Unmarshal(payload, &pl); err != nil || pl["key"] == nil {
+		t.Fatalf("job payload lost its shape: %v %s", err, payload)
+	}
+	var sr fabric.ShardResponse
+	if err := json.Unmarshal(sbuf, &sr); err != nil || len(sr.Steps) != 64 {
+		t.Fatalf("shard response lost its shape: %v %s", err, sbuf)
+	}
+	if fmt.Sprint(pl["key"]) != sr.Key {
+		t.Fatalf("whole-range shard key %s differs from job key %v", sr.Key, pl["key"])
+	}
+	// Re-fetch both; each cache must answer with its own encoding.
+	_, payload2 := postJSON(t, ts+"/v1/sort", job)
+	if string(payload2) != string(payload) {
+		t.Fatal("result cache corrupted after shard execution")
+	}
+	_, sbuf2 := postJSON(t, ts+"/v1/fabric/shard", shard)
+	if string(sbuf2) != string(sbuf) {
+		t.Fatal("shard cache corrupted after job execution")
+	}
+}
+
+func TestPeersEndpoint(t *testing.T) {
+	_, plain := newTestServer(t, Config{})
+	resp, body := getBody(t, plain.URL+"/v1/peers")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"fabric": false`) {
+		t.Fatalf("peers on a plain daemon: %d %s", resp.StatusCode, body)
+	}
+	_, coordURL := newFleet(t, 2, 64)
+	if _, body := postJSON(t, coordURL+"/v1/sort", fabricJobBody); len(body) == 0 {
+		t.Fatal("sort returned no payload")
+	}
+	resp, body = getBody(t, coordURL+"/v1/peers")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peers: %d %s", resp.StatusCode, body)
+	}
+	var pr peersResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Fabric || len(pr.Peers) != 2 || pr.Stats == nil {
+		t.Fatalf("peers response %+v, want a 2-peer fleet with stats", pr)
+	}
+	served := int64(0)
+	for _, p := range pr.Peers {
+		if !p.Up {
+			t.Fatalf("peer %s reported down: %+v", p.Addr, p)
+		}
+		served += p.Served
+	}
+	if served != pr.Stats.ShardsRemote || served == 0 {
+		t.Fatalf("per-peer served %d does not add up to stats %+v", served, pr.Stats)
+	}
+}
+
+func TestFabricShardRejectsWhileDraining(t *testing.T) {
+	s, srv := newTestServer(t, Config{})
+	ts := srv.URL
+	if err := s.Drain(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts+"/v1/fabric/shard",
+		`{"algorithm":"snake-b","rows":8,"cols":8,"trials":64,"seed":7}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining shard request: %d %s", resp.StatusCode, body)
+	}
+}

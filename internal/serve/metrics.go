@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync/atomic"
 
+	"repro/internal/fabric"
 	"repro/internal/store"
 )
 
@@ -44,14 +45,23 @@ type metrics struct {
 	campaignCellsSkip   atomic.Int64 // cells skipped because the store already held them
 	campaignsInterrupt  atomic.Int64 // campaigns stopped by shutdown/cancellation
 	campaignExportBytes atomic.Int64 // bytes served by campaign exports
+
+	// Worker-side fabric counters: shards this daemon executed for a
+	// remote coordinator. The coordinator-side counters live in the
+	// fabric.Coordinator and are sampled at scrape time (promSample).
+	fabricShardsServed atomic.Int64 // shard requests executed successfully
+	fabricShardsCached atomic.Int64 // shard requests answered from the shard cache
+	fabricShardsFailed atomic.Int64 // shard requests that errored
 }
 
 // kernelLabels is the fixed render order of the by-kernel job counter:
 // every concrete kernel family the batch runner can report, in registry
-// order. A fixed array (not a map) keeps the scrape deterministic and
-// the observe path lock-free.
+// order, plus "fabric" for jobs fanned out across the peer fleet (no
+// single family describes those). A fixed array (not a map) keeps the
+// scrape deterministic and the observe path lock-free.
 var kernelLabels = [...]string{
 	"span-sharded", "span", "sliced", "packed", "generic", "threshold",
+	fabricKernelLabel,
 }
 
 // kernelCounters counts completed jobs by effective kernel; the extra
@@ -108,6 +118,11 @@ type promSample struct {
 	// store series are then omitted entirely (absent, not zero), so a
 	// dashboard can tell "no store" from "empty store".
 	storeStats *store.Stats
+	// fabricStats/fabricPeers are nil when the daemon coordinates no
+	// fleet; the coordinator series are then omitted entirely, like the
+	// store's. Peers render in configuration order — fixed, no map.
+	fabricStats *fabric.Stats
+	fabricPeers []fabric.PeerStatus
 }
 
 // writeProm renders the metrics.
@@ -204,6 +219,45 @@ func (m *metrics) writeProm(w io.Writer, s promSample) {
 	counter("meshsortd_campaign_export_bytes_total",
 		"Bytes served by campaign export downloads.",
 		m.campaignExportBytes.Load())
+
+	fmt.Fprintf(w, "# HELP meshsortd_fabric_shards_served_total Fabric shards this worker executed for remote coordinators, by outcome.\n")
+	fmt.Fprintf(w, "# TYPE meshsortd_fabric_shards_served_total counter\n")
+	fmt.Fprintf(w, "meshsortd_fabric_shards_served_total{status=\"ok\"} %d\n", m.fabricShardsServed.Load())
+	fmt.Fprintf(w, "meshsortd_fabric_shards_served_total{status=\"cached\"} %d\n", m.fabricShardsCached.Load())
+	fmt.Fprintf(w, "meshsortd_fabric_shards_served_total{status=\"error\"} %d\n", m.fabricShardsFailed.Load())
+
+	if s.fabricStats != nil {
+		fmt.Fprintf(w, "# HELP meshsortd_fabric_runs_total Coordinator runs, by execution mode.\n")
+		fmt.Fprintf(w, "# TYPE meshsortd_fabric_runs_total counter\n")
+		fmt.Fprintf(w, "meshsortd_fabric_runs_total{mode=\"distributed\"} %d\n",
+			s.fabricStats.Runs-s.fabricStats.RunsLocal)
+		fmt.Fprintf(w, "meshsortd_fabric_runs_total{mode=\"local\"} %d\n", s.fabricStats.RunsLocal)
+		fmt.Fprintf(w, "# HELP meshsortd_fabric_shards_total Coordinator shards, by where they completed, plus requeued dispatch failures.\n")
+		fmt.Fprintf(w, "# TYPE meshsortd_fabric_shards_total counter\n")
+		fmt.Fprintf(w, "meshsortd_fabric_shards_total{status=\"remote\"} %d\n", s.fabricStats.ShardsRemote)
+		fmt.Fprintf(w, "meshsortd_fabric_shards_total{status=\"local-fallback\"} %d\n", s.fabricStats.ShardsLocal)
+		fmt.Fprintf(w, "meshsortd_fabric_shards_total{status=\"retried\"} %d\n", s.fabricStats.Retries)
+		fmt.Fprintf(w, "# HELP meshsortd_fabric_peer_up Peer health as seen by the coordinator (1 = dispatchable).\n")
+		fmt.Fprintf(w, "# TYPE meshsortd_fabric_peer_up gauge\n")
+		for _, p := range s.fabricPeers {
+			up := 0
+			if p.Up {
+				up = 1
+			}
+			fmt.Fprintf(w, "meshsortd_fabric_peer_up{peer=%q} %d\n", p.Addr, up)
+		}
+		fmt.Fprintf(w, "# HELP meshsortd_fabric_peer_shards_total Shards per peer, by outcome (failed dispatches were requeued elsewhere).\n")
+		fmt.Fprintf(w, "# TYPE meshsortd_fabric_peer_shards_total counter\n")
+		for _, p := range s.fabricPeers {
+			fmt.Fprintf(w, "meshsortd_fabric_peer_shards_total{peer=%q,outcome=\"served\"} %d\n", p.Addr, p.Served)
+			fmt.Fprintf(w, "meshsortd_fabric_peer_shards_total{peer=%q,outcome=\"failed\"} %d\n", p.Addr, p.Failed)
+		}
+		fmt.Fprintf(w, "# HELP meshsortd_fabric_peer_latency_ns Round-trip of each peer's most recent completed shard.\n")
+		fmt.Fprintf(w, "# TYPE meshsortd_fabric_peer_latency_ns gauge\n")
+		for _, p := range s.fabricPeers {
+			fmt.Fprintf(w, "meshsortd_fabric_peer_latency_ns{peer=%q} %d\n", p.Addr, p.LastLatencyNs)
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP meshsortd_job_trial_ns Nanoseconds per trial of completed jobs.\n")
 	fmt.Fprintf(w, "# TYPE meshsortd_job_trial_ns histogram\n")

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/mcbatch"
 	"repro/internal/report"
 	"repro/internal/store"
@@ -86,6 +87,17 @@ type Config struct {
 	CampaignConcurrency int
 	// Logger receives request and job logs. Default slog.Default().
 	Logger *slog.Logger
+	// Fabric, when set, is the distributed-trial coordinator: jobs and
+	// campaign cells with at least FabricMinTrials trials fan out across
+	// its peer fleet instead of running on the local trial pool. Results
+	// are bit-identical either way (the coordinator's contract), so the
+	// cache and store are oblivious to where trials ran. The caller owns
+	// the coordinator's lifecycle (meshsortd closes it at shutdown).
+	Fabric *fabric.Coordinator
+	// FabricMinTrials is the smallest job routed through the fabric;
+	// smaller jobs stay local (the fan-out overhead would dominate).
+	// Default 256.
+	FabricMinTrials int
 
 	// testGate, when set, makes every job block after entering the
 	// Running state until the channel yields; tests use it to hold the
@@ -118,6 +130,9 @@ func (c Config) withDefaults() Config {
 	if c.CampaignConcurrency <= 0 {
 		c.CampaignConcurrency = 1
 	}
+	if c.FabricMinTrials <= 0 {
+		c.FabricMinTrials = 256
+	}
 	c.Limits = c.Limits.withDefaults()
 	if c.Logger == nil {
 		c.Logger = slog.Default()
@@ -131,6 +146,16 @@ type Server struct {
 	log     *slog.Logger
 	metrics metrics
 	cache   *resultCache
+	// shardCache memoizes fabric shard responses by sub-Spec key. It is
+	// deliberately a separate LRU from the job result cache: a shard
+	// spanning a Spec's whole range has the same content-address key as
+	// the job, but its cached bytes are a ShardResponse, not a
+	// ResultPayload, so sharing one cache would serve the wrong encoding.
+	shardCache *resultCache
+	// fabricSem bounds in-flight shard executions to the job
+	// concurrency, so remote coordinators share the same compute budget
+	// as local jobs.
+	fabricSem chan struct{}
 
 	queue chan *Job
 
@@ -165,14 +190,16 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		log:       cfg.Logger,
-		cache:     newResultCache(cfg.CacheEntries),
-		queue:     make(chan *Job, cfg.QueueDepth),
-		jobs:      make(map[string]*Job),
-		byKey:     make(map[mcbatch.Key]*Job),
-		campaigns: make(map[string]*Campaign),
-		stopCh:    make(chan struct{}),
+		cfg:        cfg,
+		log:        cfg.Logger,
+		cache:      newResultCache(cfg.CacheEntries),
+		shardCache: newResultCache(cfg.CacheEntries),
+		fabricSem:  make(chan struct{}, cfg.Concurrency),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[mcbatch.Key]*Job),
+		campaigns:  make(map[string]*Campaign),
+		stopCh:     make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.campaignCtx, s.campaignCancel = context.WithCancel(s.baseCtx)
@@ -217,7 +244,7 @@ func (s *Server) runJob(job *Job) {
 	spec.Workers = s.cfg.TrialWorkers
 
 	start := monoNow()
-	b, err := mcbatch.RunCtx(ctx, spec)
+	b, kernelName, err := s.execBatch(ctx, spec)
 	elapsed := monoSince(start)
 
 	s.mu.Lock()
@@ -240,7 +267,6 @@ func (s *Server) runJob(job *Job) {
 		job.fail(err.Error())
 		return
 	}
-	kernelName := core.KernelName(b.Kernel)
 	job.setExecution(kernelName, b.Shards)
 	s.cache.put(job.Key, payload)
 	s.metrics.jobsOK.Add(1)
@@ -441,6 +467,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignSubmit)
 	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
 	mux.HandleFunc("GET /v1/campaigns/{id}/export", s.handleCampaignExport)
+	mux.HandleFunc("POST "+fabric.ShardPath, s.handleFabricShard)
+	mux.HandleFunc("GET /v1/peers", s.handlePeers)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -665,6 +693,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.Store != nil {
 		stats := s.cfg.Store.Stats()
 		sample.storeStats = &stats
+	}
+	if s.cfg.Fabric != nil {
+		stats := s.cfg.Fabric.Stats()
+		sample.fabricStats = &stats
+		sample.fabricPeers = s.cfg.Fabric.Peers()
 	}
 	s.metrics.writeProm(w, sample)
 }

@@ -24,11 +24,16 @@ type JobRequest struct {
 	Rows      int    `json:"rows,omitempty"`
 	Cols      int    `json:"cols,omitempty"`
 	Trials    int    `json:"trials"`
-	Seed      uint64 `json:"seed,omitempty"`
-	MaxSteps  int    `json:"max_steps,omitempty"`
-	Kernel    string `json:"kernel,omitempty"`
-	Shards    int    `json:"shards,omitempty"`
-	ZeroOne   bool   `json:"zeroone,omitempty"`
+	// TrialOffset runs the global trials [trial_offset,
+	// trial_offset+trials) of a larger experiment — the shard form a
+	// fabric coordinator derives, also accepted here so any sub-range is
+	// addressable as a plain job (mirrors report.SpecJSON).
+	TrialOffset int    `json:"trial_offset,omitempty"`
+	Seed        uint64 `json:"seed,omitempty"`
+	MaxSteps    int    `json:"max_steps,omitempty"`
+	Kernel      string `json:"kernel,omitempty"`
+	Shards      int    `json:"shards,omitempty"`
+	ZeroOne     bool   `json:"zeroone,omitempty"`
 }
 
 // Limits bounds what a single job may ask for, so one request cannot pin
@@ -92,6 +97,9 @@ func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
 	if r.Trials > lim.MaxTrials {
 		return mcbatch.Spec{}, fmt.Errorf("trials %d exceeds the limit %d", r.Trials, lim.MaxTrials)
 	}
+	if r.TrialOffset < 0 {
+		return mcbatch.Spec{}, fmt.Errorf("trial_offset must be >= 0 (got %d)", r.TrialOffset)
+	}
 	if r.MaxSteps < 0 {
 		return mcbatch.Spec{}, fmt.Errorf("max_steps must be >= 0 (got %d)", r.MaxSteps)
 	}
@@ -99,14 +107,15 @@ func (r JobRequest) ToSpec(lim Limits) (mcbatch.Spec, error) {
 		return mcbatch.Spec{}, fmt.Errorf("shards must be >= 0 (got %d)", r.Shards)
 	}
 	return mcbatch.Spec{
-		Algorithm: alg,
-		Rows:      rows,
-		Cols:      cols,
-		Trials:    r.Trials,
-		Seed:      r.Seed,
-		MaxSteps:  r.MaxSteps,
-		ZeroOne:   r.ZeroOne,
-		Kernel:    kernel,
-		Shards:    r.Shards,
+		Algorithm:   alg,
+		Rows:        rows,
+		Cols:        cols,
+		Trials:      r.Trials,
+		TrialOffset: r.TrialOffset,
+		Seed:        r.Seed,
+		MaxSteps:    r.MaxSteps,
+		ZeroOne:     r.ZeroOne,
+		Kernel:      kernel,
+		Shards:      r.Shards,
 	}, nil
 }

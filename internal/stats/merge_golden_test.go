@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// shardValues is a fixed 320-observation workload standing in for a
+// batch's per-trial step counts: Weyl-sequence integers, fully
+// deterministic and irregular enough that a wrong merge order or a
+// float-associativity slip moves the low mantissa bits.
+func shardValues() []float64 {
+	xs := make([]float64, 320)
+	for i := range xs {
+		xs[i] = float64((uint64(i)*2654435761 + 104729) % 1000)
+	}
+	return xs
+}
+
+// sliceAccumulators folds xs into one Welford per fixed 64-observation
+// slice — exactly mcbatch's per-slice partials, the granularity fabric
+// shards are cut at.
+func sliceAccumulators(xs []float64) []Welford {
+	var parts []Welford
+	for lo := 0; lo < len(xs); lo += 64 {
+		var w Welford
+		for _, x := range xs[lo:min(lo+64, len(xs))] {
+			w.Add(x)
+		}
+		parts = append(parts, w)
+	}
+	return parts
+}
+
+// TestMergeAllShardGranularityGolden pins the bit-level merge contract
+// the distributed fabric rests on: cutting a fixed trial range at any
+// 64-aligned boundaries into 2..5 shards and merging the shards' slice
+// accumulators in order must reproduce the unsplit accumulator exactly —
+// same mean and M2 to the last mantissa bit, not within a tolerance.
+// The load-bearing subtlety is the granularity: each shard contributes
+// its per-64-slice accumulators, never one pre-merged accumulator,
+// because Welford merging is not bit-associative — the test proves both
+// directions. The reference bits are pinned as golden constants so a
+// change to the merge arithmetic fails loudly even if it stays
+// self-consistent.
+func TestMergeAllShardGranularityGolden(t *testing.T) {
+	// Float64bits of the unsplit accumulator over shardValues(),
+	// recorded from the sequential fold. If Welford.Add or Merge
+	// arithmetic changes these, every stored content-addressed result is
+	// invalidated — that must be a deliberate, visible decision.
+	const (
+		goldenMeanBits = 0x407f640000000000 // 502.25
+		goldenM2Bits   = 0x417951acc0000000 // 2.654894e+07
+	)
+	xs := shardValues()
+	slices := sliceAccumulators(xs)
+	full := MergeAll(slices)
+
+	n, mean, m2, lo, hi := full.State()
+	if n != int64(len(xs)) {
+		t.Fatalf("n = %d, want %d", n, len(xs))
+	}
+	if bits := math.Float64bits(mean); bits != goldenMeanBits {
+		t.Fatalf("mean bits %#x (%v), want golden %#x", bits, mean, uint64(goldenMeanBits))
+	}
+	if bits := math.Float64bits(m2); bits != goldenM2Bits {
+		t.Fatalf("m2 bits %#x (%v), want golden %#x", bits, m2, uint64(goldenM2Bits))
+	}
+
+	// splits enumerates every strictly increasing choice of 64-aligned
+	// interior cut points for 2..5 shards.
+	nSlices := len(slices)
+	var enumerate func(prefix []int, from, parts int)
+	var checked, premergedDrift int
+	check := func(cuts []int) {
+		bounds := append(append([]int{}, cuts...), nSlices)
+		// The fabric contract: shards ship slice-granularity partials and
+		// the coordinator folds the concatenated list in shard order.
+		var partials []Welford
+		var premerged []Welford
+		start := 0
+		for _, end := range bounds {
+			partials = append(partials, slices[start:end]...)
+			premerged = append(premerged, MergeAll(slices[start:end]))
+			start = end
+		}
+		got := MergeAll(partials)
+		gn, gmean, gm2, glo, ghi := got.State()
+		if gn != n || math.Float64bits(gmean) != math.Float64bits(mean) ||
+			math.Float64bits(gm2) != math.Float64bits(m2) || glo != lo || ghi != hi {
+			t.Fatalf("split at slices %v: merged state (%d %x %x) != unsplit (%d %x %x)",
+				cuts, gn, math.Float64bits(gmean), math.Float64bits(gm2),
+				n, math.Float64bits(mean), math.Float64bits(m2))
+		}
+		// The rejected alternative: one pre-merged accumulator per shard.
+		// Welford merging is not bit-associative, so this drifts in the
+		// low M2 bits for some splits — counted here to prove the wire
+		// format's slice granularity is load-bearing, not ceremony.
+		pw := MergeAll(premerged)
+		_, pmean, pm2, _, _ := pw.State()
+		if math.Float64bits(pmean) != math.Float64bits(mean) ||
+			math.Float64bits(pm2) != math.Float64bits(m2) {
+			premergedDrift++
+		}
+		checked++
+	}
+	enumerate = func(prefix []int, from, parts int) {
+		if parts == 1 {
+			check(prefix)
+			return
+		}
+		for cut := from + 1; cut <= nSlices-(parts-1); cut++ {
+			enumerate(append(prefix, cut), cut, parts-1)
+		}
+	}
+	for parts := 2; parts <= 5; parts++ {
+		enumerate(nil, 0, parts)
+	}
+	if checked == 0 {
+		t.Fatal("no splits enumerated")
+	}
+	if premergedDrift == 0 {
+		t.Fatal("per-shard pre-merge reproduced the fold bit-exactly on every split; " +
+			"if merging became bit-associative, the ShardResponse slice-granularity rationale needs revisiting")
+	}
+	t.Logf("checked %d shard splits against golden bits; %d would drift under per-shard pre-merge", checked, premergedDrift)
+}

@@ -77,6 +77,22 @@ func MergeAll(parts []Welford) Welford {
 	return out
 }
 
+// State returns the accumulator's raw components: the observation count,
+// running mean, sum of squared deviations, and extremes. Together with
+// FromState it is an exact serialization — the five components are the
+// entire state, so FromState(w.State()) is bit-identical to w. The
+// distributed fabric ships per-slice accumulators between nodes this way
+// (Go's JSON float encoding round-trips float64 exactly).
+func (w *Welford) State() (n int64, mean, m2, lo, hi float64) {
+	return w.n, w.mean, w.m2, w.min, w.max
+}
+
+// FromState reconstructs the accumulator whose State returned these
+// components. It performs no arithmetic, so the reconstruction is exact.
+func FromState(n int64, mean, m2, lo, hi float64) Welford {
+	return Welford{n: n, mean: mean, m2: m2, min: lo, max: hi}
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int64 { return w.n }
 

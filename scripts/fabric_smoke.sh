@@ -1,0 +1,124 @@
+#!/bin/sh
+# fabric_smoke.sh — dead-peer exercise of the distributed trial fabric
+# (see docs/DESIGN.md §14, docs/INVARIANTS.md "Placement independence"):
+#
+#   1. boot three worker meshsortd daemons and one coordinator daemon
+#      wired to them via -peers (race-detector builds);
+#   2. submit a sweep big enough to shard across the fleet, wait until
+#      shards are in flight, then SIGKILL one worker — no drain;
+#   3. the coordinator must requeue the dead worker's shards onto the
+#      survivors (retried>0 in /metrics, peer_up 0 for the corpse) and
+#      finish the job with kernel "fabric";
+#   4. run the identical spec on a plain single daemon and assert the two
+#      result payloads are byte-identical (cmp) — placement independence
+#      under mid-sweep fleet loss.
+#
+# Stdlib-only, no curl/jq required. Run via `make fabric-smoke`.
+set -eu
+
+GO=${GO:-go}
+TMP=$(mktemp -d)
+PIDS=""
+cleanup() {
+    status=$?
+    for pid in $PIDS; do kill -KILL "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+    [ "$status" -eq 0 ] && echo "fabric-smoke: PASS" || echo "fabric-smoke: FAIL (exit $status)"
+}
+trap cleanup EXIT
+
+echo "fabric-smoke: building race-detector binaries"
+$GO build -race -o "$TMP/meshsortd" ./cmd/meshsortd
+$GO build -race -o "$TMP/meshsortctl" ./cmd/meshsortctl
+
+# start_daemon NAME [extra flags...] — boot a daemon, record its pid in
+# PIDS and its address in $TMP/NAME.addr.
+start_daemon() {
+    name=$1
+    shift
+    : > "$TMP/$name.port"
+    "$TMP/meshsortd" -addr 127.0.0.1:0 -portfile "$TMP/$name.port" \
+        -log-level warn "$@" &
+    pid=$!
+    PIDS="$PIDS $pid"
+    eval "${name}_PID=$pid"
+    i=0
+    while [ ! -s "$TMP/$name.port" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 200 ] && { echo "fabric-smoke: $name never wrote portfile" >&2; exit 1; }
+        sleep 0.1
+    done
+    eval "${name}_ADDR=127.0.0.1:\$(cat \"$TMP/$name.port\")"
+}
+
+# The sweep: large enough (side 24, 1920 trials = 30 shards of 64 under
+# race overhead) that the kill lands mid-sweep, small enough for CI.
+ALG=snake-a; SIDE=24; TRIALS=1920; SEED=13
+
+echo "fabric-smoke: booting 3 workers and a coordinator"
+start_daemon w1
+start_daemon w2
+start_daemon w3
+start_daemon coord -peers "$w1_ADDR,$w2_ADDR,$w3_ADDR" \
+    -fabric-min-trials 64 -fabric-shard-trials 64
+
+ctl() { "$TMP/meshsortctl" "$@" -addr "$coord_ADDR"; }
+
+echo "fabric-smoke: submitting $TRIALS-trial sweep through the fabric"
+ctl submit -alg "$ALG" -side "$SIDE" -trials "$TRIALS" -seed "$SEED" > "$TMP/submit.out"
+JID=$(sed -n 's/.*"id": *"\(j-[^"]*\)".*/\1/p' "$TMP/submit.out" | head -n 1)
+[ -n "$JID" ] || { echo "fabric-smoke: no job id in submit response" >&2; cat "$TMP/submit.out" >&2; exit 1; }
+
+echo "fabric-smoke: waiting for in-flight shards, then SIGKILL worker 2"
+i=0
+while :; do
+    i=$((i + 1))
+    [ "$i" -gt 600 ] && { echo "fabric-smoke: no shard ever went remote" >&2; exit 1; }
+    ctl metrics > "$TMP/metrics.out" 2>/dev/null || true
+    remote=$(sed -n 's/^meshsortd_fabric_shards_total{status="remote"} \([0-9][0-9]*\)$/\1/p' "$TMP/metrics.out")
+    if grep -q '"status": "done"' "$TMP/status.out" 2>/dev/null; then
+        echo "fabric-smoke: job finished before the kill; enlarge the sweep" >&2
+        exit 1
+    fi
+    ctl status -id "$JID" > "$TMP/status.out" 2>/dev/null || true
+    [ "${remote:-0}" -ge 2 ] && break
+    sleep 0.05
+done
+kill -KILL "$w2_PID"
+wait "$w2_PID" 2>/dev/null || true
+echo "fabric-smoke: killed worker 2 after $remote remote shards"
+
+echo "fabric-smoke: awaiting the job through the degraded fleet"
+ctl await -id "$JID" -timeout 10m -json > "$TMP/fabric.json"
+ctl status -id "$JID" > "$TMP/final.out"
+grep -q '"kernel": "fabric"' "$TMP/final.out" || {
+    echo "fabric-smoke: finished job does not report the fabric kernel" >&2
+    cat "$TMP/final.out" >&2
+    exit 1
+}
+
+echo "fabric-smoke: checking requeue evidence in /metrics"
+ctl metrics > "$TMP/metrics.out"
+retried=$(sed -n 's/^meshsortd_fabric_shards_total{status="retried"} \([0-9][0-9]*\)$/\1/p' "$TMP/metrics.out")
+[ "${retried:-0}" -ge 1 ] || {
+    echo "fabric-smoke: no shard was retried after the worker kill (retried=${retried:-0})" >&2
+    grep '^meshsortd_fabric' "$TMP/metrics.out" >&2 || true
+    exit 1
+}
+grep -q "^meshsortd_fabric_peer_up{peer=\"http://$w2_ADDR\"} 0$" "$TMP/metrics.out" || {
+    echo "fabric-smoke: killed worker still reported up" >&2
+    grep '^meshsortd_fabric_peer_up' "$TMP/metrics.out" >&2 || true
+    exit 1
+}
+echo "fabric-smoke: $retried shard attempt(s) requeued, dead peer marked down"
+
+echo "fabric-smoke: single-daemon reference run"
+start_daemon ref
+"$TMP/meshsortctl" run -alg "$ALG" -side "$SIDE" -trials "$TRIALS" -seed "$SEED" \
+    -json -addr "$ref_ADDR" > "$TMP/single.json"
+
+cmp "$TMP/fabric.json" "$TMP/single.json" || {
+    echo "fabric-smoke: fabric payload differs from single-daemon payload" >&2
+    exit 1
+}
+echo "fabric-smoke: payloads byte-identical ($(wc -c < "$TMP/fabric.json") bytes)"
